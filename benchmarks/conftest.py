@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures.  Full
+sweeps (the exact dataset list of the paper) are expensive; by default
+the suite runs the quick subset.  Set ``REPRO_BENCH_FULL=1`` to sweep
+everything Figs 3-4 style (minutes, matches EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def experiment_cache() -> dict:
+    """Share experiment results across benchmark and assertion phases."""
+    return {}
+
+
+def run_cached(cache: dict, exp_id: str, quick: bool):
+    from repro.bench import run_experiment
+
+    key = (exp_id, quick)
+    if key not in cache:
+        cache[key] = run_experiment(exp_id, quick=quick)
+    return cache[key]

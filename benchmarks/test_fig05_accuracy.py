@@ -1,0 +1,16 @@
+"""Fig 5: training-accuracy parity between GNNOne and DGL backends."""
+
+import pytest
+
+from conftest import run_cached
+
+
+def test_fig05_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "fig05", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    assert all(row["match"] for row in result.rows)
+    assert all(row["gnnone_acc"] == row["dgl_acc"] for row in result.rows)

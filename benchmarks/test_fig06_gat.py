@@ -1,0 +1,22 @@
+"""Fig 6: end-to-end GAT training vs DGL and dgNN."""
+
+import pytest
+
+from conftest import run_cached
+
+
+def test_fig06_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "fig06", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    # Paper: 3.68x over DGL, 2.01x over dgNN (despite dgNN's fusion).
+    assert result.geomean("speedup_dgl") > 1.5
+    assert result.geomean("speedup_dgnn") > 1.0
+    if not quick_mode:
+        # Across the full suite dgNN's fusion puts it ahead of DGL (the
+        # paper's ordering); on the single quick dataset dgSparse's
+        # vertex-parallel SDDMM imbalance can mask the fusion gain.
+        assert result.geomean("speedup_dgnn") < result.geomean("speedup_dgl")

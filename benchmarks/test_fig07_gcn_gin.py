@@ -1,0 +1,22 @@
+"""Fig 7: GCN/GIN training vs DGL, including the OOM boundary."""
+
+import pytest
+
+from conftest import run_cached
+
+
+def test_fig07_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "fig07", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    assert result.geomean("speedup") > 1.0
+    cells = {(r["dataset"], r["model"]): r for r in result.rows}
+    # GNNOne's single format trains GCN on uk-2002 where DGL OOMs.
+    assert cells[("G17", "GCN")]["dgl_ms"] == "OOM"
+    assert cells[("G17", "GCN")]["gnnone_ms"] != "OOM"
+    # kmer and uk-2005: everyone OOMs.
+    assert cells[("G16", "GCN")]["gnnone_ms"] == "OOM"
+    assert cells[("G18", "GCN")]["gnnone_ms"] == "OOM"

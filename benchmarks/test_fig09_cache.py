@@ -1,0 +1,17 @@
+"""Fig 9: Stage-1 cache size 128 vs 32."""
+
+import pytest
+
+from conftest import run_cached
+
+
+def test_fig09_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "fig09", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    # Paper: 1.31x from caching 128 vs 32 NZEs per warp.
+    gm = result.geomean("speedup")
+    assert 1.0 < gm < 2.0

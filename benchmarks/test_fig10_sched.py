@@ -1,0 +1,20 @@
+"""Fig 10: Consecutive vs Round-robin scheduling."""
+
+import pytest
+
+from conftest import run_cached
+
+
+def test_fig10_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "fig10", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    # Load-only: Consecutive never slower (paper: ~10% faster).
+    assert result.geomean("load_speedup") >= 1.0
+    # With reduction included, Consecutive's advantage grows (paper:
+    # "including reduction would have provided even better performance").
+    assert result.geomean("full_speedup") >= result.geomean("load_speedup")
+    assert result.geomean("full_speedup") > 1.0

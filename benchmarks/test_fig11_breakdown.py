@@ -1,0 +1,19 @@
+"""Fig 11: data-load dominance breakdown."""
+
+import numpy as np
+import pytest
+
+from conftest import run_cached
+
+
+def test_fig11_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "fig11", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    fracs = result.numeric_column("load_fraction")
+    # Observation #2: data load is the dominant phase for both kernels.
+    assert np.all(fracs > 0.5)
+    assert float(np.mean(fracs)) > 0.7

@@ -1,0 +1,22 @@
+"""Table 1: dataset suite generation benchmark + reproduction printout."""
+
+import pytest
+
+from conftest import run_cached
+from repro.sparse.datasets import get_spec
+
+
+def test_table01_reproduction(benchmark, experiment_cache, quick_mode):
+    result = benchmark.pedantic(
+        lambda: run_cached(experiment_cache, "table01", quick_mode),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.render())
+    assert len(result.rows) == 19
+
+
+def test_generate_reddit_standin(benchmark):
+    spec = get_spec("G14")
+    coo = benchmark(lambda: spec.build(7))
+    assert coo.nnz > 100_000

@@ -1,0 +1,18 @@
+"""GNNOne reproduction: unified system optimizations for GNN kernels.
+
+Reproduction of Gong & Kumar, *GNNOne: A Unified System Optimizations
+for GNN Kernels* (HPDC 2024), on a simulated GPU substrate:
+
+* :mod:`repro.core` — public API (``spmm`` / ``sddmm`` / ``spmv``),
+* :mod:`repro.kernels` — GNNOne's two-stage kernels + all baselines,
+* :mod:`repro.gpusim` — the simulated A100 and its cost model,
+* :mod:`repro.sparse` — formats, generators, Table-1 dataset stand-ins,
+* :mod:`repro.nn` — autograd + GCN/GIN/GAT training stack,
+* :mod:`repro.bench` — one experiment module per paper table/figure.
+"""
+
+from repro.core import sddmm, spmm, spmv
+
+__version__ = "1.0.0"
+
+__all__ = ["sddmm", "spmm", "spmv", "__version__"]

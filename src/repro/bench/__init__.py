@@ -1,0 +1,20 @@
+"""Benchmark harness: one experiment per paper table/figure."""
+
+from repro.bench.harness import (
+    FEATURE_LENGTHS,
+    experiment_ids,
+    run_experiment,
+    time_sddmm,
+    time_spmm,
+)
+from repro.bench.report import ExperimentResult, render_table
+
+__all__ = [
+    "FEATURE_LENGTHS",
+    "experiment_ids",
+    "run_experiment",
+    "time_sddmm",
+    "time_spmm",
+    "ExperimentResult",
+    "render_table",
+]

@@ -1,0 +1,47 @@
+"""CLI: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.bench               # list experiments
+    python -m repro.bench fig03         # run one (full sweep)
+    python -m repro.bench fig03 --quick # fast subset
+    python -m repro.bench all --quick   # everything, quick mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import experiment_ids, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id, one of {', '.join(experiment_ids())}, or 'all'",
+    )
+    parser.add_argument("--quick", action="store_true", help="small dataset subset")
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("available experiments:")
+        for exp_id in experiment_ids():
+            print(f"  {exp_id}")
+        return 0
+
+    ids = experiment_ids() if args.experiment == "all" else (args.experiment,)
+    for exp_id in ids:
+        result = run_experiment(exp_id, quick=args.quick)
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

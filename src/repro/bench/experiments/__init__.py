@@ -1,0 +1,17 @@
+"""One module per paper table/figure; importing registers them all."""
+
+from repro.bench.experiments import (  # noqa: F401
+    ext_fusion,
+    ext_spmv_survey,
+    fig03_sddmm,
+    fig04_spmm,
+    fig05_accuracy,
+    fig06_gat_training,
+    fig07_gcn_gin,
+    fig08_sddmm_ablation,
+    fig09_cache_size,
+    fig10_scheduling,
+    fig11_breakdown,
+    fig12_spmv,
+    table01_datasets,
+)

@@ -1,0 +1,99 @@
+"""Experiment registry and shared sweep machinery.
+
+Every table/figure of the paper has one experiment module under
+``repro.bench.experiments``; this module provides their common
+ingredients — the kernel sweep with paper-scale OOM accounting — and a
+registry so ``run_experiment("fig03")`` (or the CLI:
+``python -m repro.bench fig03``) regenerates any of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import BenchmarkError, KernelLaunchError
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.kernels.registry import sddmm_kernel, spmm_kernel
+from repro.nn.memory import USABLE_FRACTION
+from repro.bench.report import ExperimentResult
+from repro.sparse.datasets import DatasetSpec, get_spec, load_dataset
+
+#: Feature lengths the paper sweeps in Figs 3-4.
+FEATURE_LENGTHS = (6, 16, 32, 64)
+
+_REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(exp_id: str):
+    """Decorator registering an experiment entry point."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(exp_id: str, *, quick: bool = False) -> ExperimentResult:
+    try:
+        fn = _REGISTRY[exp_id]
+    except KeyError:
+        raise BenchmarkError(f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}")
+    return fn(quick=quick)
+
+
+def experiment_ids() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def kernel_fits(kernel, spec: DatasetSpec, feature_length: int, device: DeviceSpec) -> bool:
+    """Does the kernel's footprint fit at *paper scale*?"""
+    needed = kernel.memory_bytes(spec.paper_vertices, spec.paper_edges, feature_length)
+    return needed <= USABLE_FRACTION * device.memory_bytes
+
+
+def time_spmm(
+    name: str, dataset_key: str, feature_length: int, *, device=None, seed: int = 0
+) -> float | None:
+    """Simulated microseconds, or None for OOM/launch failure."""
+    dev = get_device(device)
+    spec = get_spec(dataset_key)
+    kernel = spmm_kernel(name)
+    if not kernel_fits(kernel, spec, feature_length, dev):
+        return None
+    A = load_dataset(dataset_key).coo
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((A.num_cols, feature_length))
+    vals = rng.standard_normal(A.nnz)
+    try:
+        return kernel(A, vals, X, device=dev).time_us
+    except KernelLaunchError:
+        return None
+
+
+def time_sddmm(
+    name: str, dataset_key: str, feature_length: int, *, device=None, seed: int = 0
+) -> float | None:
+    dev = get_device(device)
+    spec = get_spec(dataset_key)
+    kernel = sddmm_kernel(name)
+    if not kernel_fits(kernel, spec, feature_length, dev):
+        return None
+    A = load_dataset(dataset_key).coo
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((A.num_rows, feature_length))
+    Y = rng.standard_normal((A.num_cols, feature_length))
+    try:
+        return kernel(A, X, Y, device=dev).time_us
+    except KernelLaunchError:
+        return None
+
+
+# Import experiment modules for their registration side effects.
+def _register_all() -> None:
+    from repro.bench import experiments  # noqa: F401
+
+
+_register_all()

@@ -1,0 +1,18 @@
+"""GNNOne public API: unified sparse kernels with backend dispatch."""
+
+from repro.core.api import run_sddmm, run_spmm, run_spmv, sddmm, spmm, spmv
+from repro.core.autotune import TuneResult, autotune
+from repro.core.engine import UnifiedLoadPlan, plan_unified_load
+
+__all__ = [
+    "sddmm",
+    "spmm",
+    "spmv",
+    "run_sddmm",
+    "run_spmm",
+    "run_spmv",
+    "TuneResult",
+    "autotune",
+    "UnifiedLoadPlan",
+    "plan_unified_load",
+]

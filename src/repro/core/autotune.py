@@ -1,0 +1,77 @@
+"""Configuration auto-tuning for GNNOne kernels.
+
+CACHE_SIZE is a *hardware* parameter (Section 4.1.1) — the paper picks
+128 on the A100.  This module searches the small configuration space
+(cache size x schedule) with the cost model, which is cheap because the
+model is analytic, and returns the best config per (graph, feature
+length, kernel kind).  Used by the GNN trainer so every layer's sparse
+op runs its best configuration, and by tests to verify the paper's
+choice (128, Consecutive) is in fact optimal on the default device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.kernels.gnnone import (
+    CONSECUTIVE,
+    ROUND_ROBIN,
+    GnnOneConfig,
+    GnnOneSDDMM,
+    GnnOneSpMM,
+)
+from repro.sparse.coo import COOMatrix
+from repro.utils.validation import check_in
+
+DEFAULT_CACHE_SIZES = (32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    config: GnnOneConfig
+    time_us: float
+    #: (cache_size, schedule) -> simulated microseconds
+    trials: dict
+
+
+def autotune(
+    A: COOMatrix,
+    feature_length: int,
+    kind: str = "spmm",
+    *,
+    cache_sizes: tuple[int, ...] = DEFAULT_CACHE_SIZES,
+    schedules: tuple[str, ...] = (CONSECUTIVE, ROUND_ROBIN),
+    device: DeviceSpec | str | None = None,
+    seed: int = 0,
+) -> TuneResult:
+    """Pick the fastest GNNOne config for ``A`` at ``feature_length``."""
+    check_in(kind, "kind", ("spmm", "sddmm"))
+    dev = get_device(device)
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((A.num_cols, feature_length))
+    if kind == "spmm":
+        vals = rng.standard_normal(A.nnz)
+
+        def run(cfg: GnnOneConfig) -> float:
+            return GnnOneSpMM(cfg)(A, vals, X, device=dev).time_us
+
+    else:
+        Xr = rng.standard_normal((A.num_rows, feature_length))
+
+        def run(cfg: GnnOneConfig) -> float:
+            return GnnOneSDDMM(cfg)(A, Xr, X, device=dev).time_us
+
+    trials: dict[tuple[int, str], float] = {}
+    best: tuple[float, GnnOneConfig] | None = None
+    for cache in cache_sizes:
+        for sched in schedules:
+            cfg = GnnOneConfig(cache_size=cache, schedule=sched)
+            t = run(cfg)
+            trials[(cache, sched)] = t
+            if best is None or t < best[0]:
+                best = (t, cfg)
+    assert best is not None
+    return TuneResult(config=best[1], time_us=best[0], trials=trials)

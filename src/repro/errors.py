@@ -1,0 +1,51 @@
+"""Exception hierarchy for the GNNOne reproduction.
+
+Every failure mode that the paper's evaluation exercises (out-of-memory
+conditions in baselines, CUDA launch-configuration limits hit by Sputnik's
+|V|^2 thread-block SDDMM, unsupported formats, ...) is modeled as a typed
+exception so benchmark harnesses can record "OOM"/"ERR" cells exactly like
+the paper's figures do.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class FormatError(ReproError):
+    """A sparse-format invariant was violated (bad indices, wrong dtype...)."""
+
+
+class UnsupportedFormatError(ReproError):
+    """A kernel was handed a sparse format it does not implement."""
+
+
+class KernelLaunchError(ReproError):
+    """The simulated kernel launch exceeds a hard device limit.
+
+    Mirrors CUDA's ``cudaErrorInvalidConfiguration``: e.g. Sputnik's SDDMM
+    allocating more thread blocks than the grid-dimension limit allows
+    (the paper observes this for |V| above ~2 million).
+    """
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """The simulated device memory footprint exceeds device capacity.
+
+    Mirrors ``cudaErrorMemoryAllocation``; the paper reports OOM cells for
+    several baselines (PyG, DGL on uk-2002, everything on kmer/uk-2005).
+    """
+
+
+class AutogradError(ReproError):
+    """Invalid use of the autograd engine (e.g. backward on non-scalar)."""
+
+
+class ConfigError(ReproError):
+    """An invalid kernel/scheduler configuration was requested."""
+
+
+class BenchmarkError(ReproError):
+    """An experiment harness failure (unknown experiment id, bad sweep...)."""

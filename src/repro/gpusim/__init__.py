@@ -1,0 +1,39 @@
+"""Simulated-GPU substrate: device model, coalescing math, occupancy,
+trace collection, and the analytic cost model.
+
+The paper's kernels are CUDA programs measured on an A100; this package
+is the laptop-scale stand-in.  Kernels execute their numerics in NumPy
+while recording per-warp memory/issue traces, which :func:`estimate_cost`
+turns into simulated microseconds using the mechanisms the paper reasons
+about (sectors, ILP, occupancy, barriers, atomics, imbalance).
+"""
+
+from repro.gpusim.device import A100, V100, SECTOR_BYTES, DeviceSpec, get_device
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.trace import KernelTrace, LaunchConfig, Phase
+from repro.gpusim.cost import CostReport, estimate_cost
+from repro.gpusim.warp import (
+    ThreadGroupShape,
+    feature_parallel_shape,
+    thread_group_shape,
+    vector_width_for,
+)
+
+__all__ = [
+    "A100",
+    "V100",
+    "SECTOR_BYTES",
+    "DeviceSpec",
+    "get_device",
+    "Occupancy",
+    "compute_occupancy",
+    "KernelTrace",
+    "LaunchConfig",
+    "Phase",
+    "CostReport",
+    "estimate_cost",
+    "ThreadGroupShape",
+    "feature_parallel_shape",
+    "thread_group_shape",
+    "vector_width_for",
+]

@@ -1,0 +1,121 @@
+"""Profiler-style reporting for kernel traces.
+
+Formats a :class:`KernelTrace` + :class:`CostReport` the way ``nsight``
+/ ``nvprof`` present a kernel: launch configuration, achieved occupancy,
+per-phase instruction/sector/barrier counters, the cost model's busy
+cycles per phase, and derived efficiency metrics (achieved bandwidth,
+bytes per NZE-equivalent, load ILP).  Used by examples and by humans
+debugging why one kernel design beats another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.cost import CostReport, estimate_cost
+from repro.gpusim.device import SECTOR_BYTES, DeviceSpec, get_device
+from repro.gpusim.trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    name: str
+    kind: str
+    load_instrs: float
+    ilp: float
+    sectors: float
+    mbytes: float
+    flops: float
+    shuffles: float
+    barriers: float
+    atomics: float
+
+
+def profile_phases(trace: KernelTrace) -> list[PhaseProfile]:
+    out = []
+    for p in trace.phases:
+        t = p.totals()
+        out.append(
+            PhaseProfile(
+                name=p.name,
+                kind=p.kind,
+                load_instrs=t["load_instrs"],
+                ilp=p.ilp,
+                sectors=t["sectors"],
+                mbytes=t["sectors"] * SECTOR_BYTES / 1e6,
+                flops=t["flops"],
+                shuffles=t["shuffles"],
+                barriers=t["barriers"],
+                atomics=t["atomics"],
+            )
+        )
+    return out
+
+
+def achieved_bandwidth_gbps(report: CostReport, device: DeviceSpec) -> float:
+    """DRAM bytes moved over the kernel's simulated duration."""
+    seconds = report.time_us * 1e-6
+    return report.dram_bytes / seconds / 1e9 if seconds > 0 else 0.0
+
+
+def format_profile(
+    trace: KernelTrace,
+    device: DeviceSpec | str | None = None,
+    *,
+    report: CostReport | None = None,
+) -> str:
+    """Render a human-readable kernel profile."""
+    dev = get_device(device)
+    rep = report if report is not None else estimate_cost(trace, dev)
+    launch = trace.launch
+    lines = [
+        f"kernel {trace.kernel_name!r} on {dev.name}",
+        f"  grid {launch.grid_ctas} CTAs x {launch.threads_per_cta} threads "
+        f"({trace.n_warps:,} warps), {launch.registers_per_thread} regs/thread, "
+        f"{launch.shared_mem_per_cta} B smem/CTA",
+        f"  occupancy: {rep.occupancy.active_ctas_per_sm} CTAs "
+        f"({rep.occupancy.active_warps_per_sm} warps)/SM, "
+        f"limited by {rep.occupancy.limiter}",
+        f"  simulated time {rep.time_us:.2f} us | DRAM {rep.dram_bytes / 1e6:.2f} MB "
+        f"({achieved_bandwidth_gbps(rep, dev):.0f} GB/s achieved, "
+        f"{dev.dram_bandwidth_gbps:.0f} peak) | SM imbalance {rep.sm_imbalance:.2f}",
+        "",
+        f"  {'phase':<28} {'kind':<7} {'ld instr':>10} {'ilp':>4} "
+        f"{'MB':>8} {'Mflop':>8} {'shfl':>8} {'barr':>8} {'atom':>8}",
+    ]
+    for p in profile_phases(trace):
+        lines.append(
+            f"  {p.name:<28} {p.kind:<7} {p.load_instrs:>10,.0f} {p.ilp:>4.0f} "
+            f"{p.mbytes:>8.2f} {p.flops / 1e6:>8.2f} {p.shuffles:>8,.0f} "
+            f"{p.barriers:>8,.0f} {p.atomics:>8,.0f}"
+        )
+    if rep.kind_cycles:
+        split = ", ".join(f"{k}: {v:,.0f}" for k, v in sorted(rep.kind_cycles.items()))
+        lines.append(f"\n  busy cycles by phase kind: {split}")
+    return "\n".join(lines)
+
+
+def compare_profiles(
+    traces: dict[str, KernelTrace], device: DeviceSpec | str | None = None
+) -> str:
+    """Side-by-side one-line summaries for a set of kernels."""
+    dev = get_device(device)
+    rows = []
+    for name, trace in traces.items():
+        rep = estimate_cost(trace, dev)
+        counters = trace.counters()
+        rows.append(
+            (name, rep.time_us, rep.dram_bytes / 1e6, counters["load_instrs"],
+             counters["barriers"], rep.occupancy.active_warps_per_sm, rep.sm_imbalance)
+        )
+    rows.sort(key=lambda r: r[1])
+    lines = [
+        f"{'kernel':<24} {'time us':>10} {'DRAM MB':>9} {'ld instr':>12} "
+        f"{'barriers':>10} {'warps/SM':>8} {'imbal':>6}"
+    ]
+    for name, t, mb, ld, barr, occ, imb in rows:
+        lines.append(
+            f"{name:<24} {t:>10.2f} {mb:>9.2f} {ld:>12,.0f} {barr:>10,.0f} "
+            f"{occ:>8} {imb:>6.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Kernel interface shared by GNNOne and every baseline.
+
+A *kernel* here is one simulated CUDA kernel: calling it computes the
+exact numerical result with NumPy **and** a :class:`KernelTrace` of what
+each simulated warp did, which the cost model prices into microseconds.
+
+Signatures follow the paper's definitions (Section 2):
+
+* ``spmm(A, edge_values, X) -> Y``  with ``Y = A_w @ X`` where ``A_w`` is
+  the sparse matrix with per-NZE values ``edge_values``  (|V| x F out);
+* ``sddmm(A, X, Y) -> W`` with ``W[e] = <X[row_e], Y[col_e]>``  (|E| out);
+* ``spmv(A, edge_values, x) -> y``  (the Fig-12 study).
+
+Every kernel also exposes :meth:`memory_bytes`, the device footprint of
+its storage format(s) plus operands at an *arbitrary* scale — the
+harness evaluates it at the paper-scale |V|/|E| so the OOM cells in
+Figs 3/4/7 reproduce even though the compute runs on scaled graphs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, UnsupportedFormatError
+from repro.gpusim.cost import CostReport, estimate_cost
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.gpusim.trace import KernelTrace
+from repro.sparse.coo import COOMatrix
+
+
+@dataclass
+class KernelResult:
+    """Numerical output plus simulated execution report."""
+
+    output: np.ndarray
+    cost: CostReport
+    trace: KernelTrace
+    #: host-side preprocessing wall time (custom formats only)
+    preprocess_seconds: float = 0.0
+
+    @property
+    def time_us(self) -> float:
+        return self.cost.time_us
+
+
+def validate_spmm_inputs(A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> None:
+    edge_values = np.asarray(edge_values)
+    X = np.asarray(X)
+    if edge_values.shape != (A.nnz,):
+        raise FormatError(f"edge_values must have shape ({A.nnz},), got {edge_values.shape}")
+    if X.ndim != 2 or X.shape[0] != A.num_cols:
+        raise FormatError(f"X must have shape ({A.num_cols}, F), got {X.shape}")
+
+
+def validate_sddmm_inputs(A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> None:
+    X, Y = np.asarray(X), np.asarray(Y)
+    if X.ndim != 2 or X.shape[0] != A.num_rows:
+        raise FormatError(f"X must have shape ({A.num_rows}, F), got {X.shape}")
+    if Y.ndim != 2 or Y.shape[0] != A.num_cols:
+        raise FormatError(f"Y must have shape ({A.num_cols}, F), got {Y.shape}")
+    if X.shape[1] != Y.shape[1]:
+        raise FormatError(f"feature length mismatch: {X.shape[1]} vs {Y.shape[1]}")
+
+
+def validate_spmv_inputs(A: COOMatrix, edge_values: np.ndarray, x: np.ndarray) -> None:
+    if np.asarray(edge_values).shape != (A.nnz,):
+        raise FormatError(f"edge_values must have shape ({A.nnz},)")
+    if np.asarray(x).shape != (A.num_cols,):
+        raise FormatError(f"x must have shape ({A.num_cols},)")
+
+
+class SpMMKernel(abc.ABC):
+    """Base class for SpMM (``Y <- A X``) kernels."""
+
+    name: str = "spmm-base"
+    format: str = "coo"
+    kind = "spmm"
+
+    def __call__(
+        self,
+        A: COOMatrix,
+        edge_values: np.ndarray,
+        X: np.ndarray,
+        *,
+        device: DeviceSpec | str | None = None,
+    ) -> KernelResult:
+        validate_spmm_inputs(A, edge_values, X)
+        dev = get_device(device)
+        out, trace, prep = self.execute(A, np.asarray(edge_values, dtype=np.float64),
+                                        np.asarray(X, dtype=np.float64), dev)
+        cost = estimate_cost(trace, dev)
+        return KernelResult(out, cost, trace, prep)
+
+    @abc.abstractmethod
+    def execute(
+        self, A: COOMatrix, edge_values: np.ndarray, X: np.ndarray, device: DeviceSpec
+    ) -> tuple[np.ndarray, KernelTrace, float]:
+        """Return (Y, trace, preprocess_seconds)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self, num_vertices: int, num_edges: int, feature_length: int) -> int:
+        """Device footprint (formats + operands + output) at the given scale."""
+
+
+class SDDMMKernel(abc.ABC):
+    """Base class for SDDMM (``W <- A ⊙ (X Y^T)``) kernels."""
+
+    name: str = "sddmm-base"
+    format: str = "coo"
+    kind = "sddmm"
+
+    def __call__(
+        self,
+        A: COOMatrix,
+        X: np.ndarray,
+        Y: np.ndarray,
+        *,
+        device: DeviceSpec | str | None = None,
+    ) -> KernelResult:
+        validate_sddmm_inputs(A, X, Y)
+        dev = get_device(device)
+        out, trace, prep = self.execute(
+            A, np.asarray(X, dtype=np.float64), np.asarray(Y, dtype=np.float64), dev
+        )
+        cost = estimate_cost(trace, dev)
+        return KernelResult(out, cost, trace, prep)
+
+    @abc.abstractmethod
+    def execute(
+        self, A: COOMatrix, X: np.ndarray, Y: np.ndarray, device: DeviceSpec
+    ) -> tuple[np.ndarray, KernelTrace, float]:
+        """Return (W, trace, preprocess_seconds)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self, num_vertices: int, num_edges: int, feature_length: int) -> int:
+        ...
+
+
+class SpMVKernel(abc.ABC):
+    """Base class for SpMV (``y <- A x``) kernels (Fig-12 study)."""
+
+    name: str = "spmv-base"
+    format: str = "coo"
+    kind = "spmv"
+
+    def __call__(
+        self,
+        A: COOMatrix,
+        edge_values: np.ndarray,
+        x: np.ndarray,
+        *,
+        device: DeviceSpec | str | None = None,
+    ) -> KernelResult:
+        validate_spmv_inputs(A, edge_values, x)
+        dev = get_device(device)
+        out, trace, prep = self.execute(
+            A, np.asarray(edge_values, dtype=np.float64), np.asarray(x, dtype=np.float64), dev
+        )
+        cost = estimate_cost(trace, dev)
+        return KernelResult(out, cost, trace, prep)
+
+    @abc.abstractmethod
+    def execute(
+        self, A: COOMatrix, edge_values: np.ndarray, x: np.ndarray, device: DeviceSpec
+    ) -> tuple[np.ndarray, KernelTrace, float]:
+        ...
+
+    @abc.abstractmethod
+    def memory_bytes(self, num_vertices: int, num_edges: int, feature_length: int) -> int:
+        ...
+
+
+def reference_spmm(A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """Ground-truth SpMM via scipy (used by baselines and tests)."""
+    return A.to_scipy(np.asarray(edge_values, dtype=np.float64)).tocsr() @ np.asarray(X)
+
+
+def reference_sddmm(A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Ground-truth SDDMM: per-edge dot products (vectorized gather)."""
+    X, Y = np.asarray(X), np.asarray(Y)
+    return np.einsum("ef,ef->e", X[A.rows], Y[A.cols])
+
+
+def reference_spmv(A: COOMatrix, edge_values: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return A.to_scipy(np.asarray(edge_values, dtype=np.float64)).tocsr() @ np.asarray(x)
+
+
+def require_format(kernel_name: str, fmt: str, expected: str) -> None:
+    if fmt != expected:
+        raise UnsupportedFormatError(f"{kernel_name} only supports {expected}, got {fmt}")

@@ -1,0 +1,35 @@
+"""Baseline kernels re-implemented from their published designs."""
+
+from repro.kernels.baselines.csr_spmv import BinnedSpMV, CsrScalarSpMV, CsrVectorSpMV
+from repro.kernels.baselines.cusparse import CuSparseSDDMM, CuSparseSpMM
+from repro.kernels.baselines.dalton_spmv import DaltonSpMV
+from repro.kernels.baselines.dgl import DGLSDDMM, DGLSpMM
+from repro.kernels.baselines.dgsparse import DgSparseSDDMM
+from repro.kernels.baselines.featgraph import FeatGraphSDDMM, FeatGraphSpMM
+from repro.kernels.baselines.ge_spmm import GeSpMM
+from repro.kernels.baselines.gnnadvisor import GNNAdvisorSpMM
+from repro.kernels.baselines.huang import HuangSpMM
+from repro.kernels.baselines.merge_spmv import MergeSpMV
+from repro.kernels.baselines.sputnik import SputnikSDDMM, SputnikSpMM
+from repro.kernels.baselines.yang_nzsplit import YangNonzeroSplitSpMM
+
+__all__ = [
+    "BinnedSpMV",
+    "CsrScalarSpMV",
+    "CsrVectorSpMV",
+    "CuSparseSDDMM",
+    "CuSparseSpMM",
+    "DaltonSpMV",
+    "DGLSDDMM",
+    "DGLSpMM",
+    "DgSparseSDDMM",
+    "FeatGraphSDDMM",
+    "FeatGraphSpMM",
+    "GeSpMM",
+    "GNNAdvisorSpMM",
+    "HuangSpMM",
+    "MergeSpMV",
+    "SputnikSDDMM",
+    "SputnikSpMM",
+    "YangNonzeroSplitSpMM",
+]

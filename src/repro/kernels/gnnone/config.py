@@ -1,0 +1,69 @@
+"""GNNOne kernel configuration.
+
+The two tunables the paper ablates:
+
+* ``cache_size`` — NZEs cached per warp in Stage 1 (Fig 9: 128 beats 32
+  because each thread issues 4 loads before the shared-memory barrier);
+* ``schedule`` — how cached NZEs map to thread groups (Fig 10:
+  Consecutive beats Round-robin on locality and reduction traffic).
+
+``vector_width=None`` picks the widest aligned vector load per feature
+length (float4 for multiples of 4, float3 for 6, ... — Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_in
+
+CONSECUTIVE = "consecutive"
+ROUND_ROBIN = "round_robin"
+SCHEDULES = (CONSECUTIVE, ROUND_ROBIN)
+
+#: Simulated register footprints (per thread) of the kernel bodies, in
+#: the range ptxas reports for kernels of this complexity.  GNNOne's
+#: running reduction keeps only ``vector_width`` accumulators live.
+BASE_REGISTERS = 32
+THREADS_PER_CTA = 128
+
+
+@dataclass(frozen=True)
+class GnnOneConfig:
+    """Launch-time configuration of the unified two-stage kernels."""
+
+    cache_size: int = 128
+    schedule: str = CONSECUTIVE
+    vector_width: int | None = None  # None = auto (float4 when aligned)
+    threads_per_cta: int = THREADS_PER_CTA
+    #: Ablation switches (Fig 8): disable Stage-1 NZE caching and/or the
+    #: row-feature reuse in SDDMM to recover the "Baseline" and
+    #: "+Data-reuse" bars.
+    enable_nze_cache: bool = True
+    enable_row_reuse: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_size <= 0 or self.cache_size % 32:
+            raise ConfigError(
+                f"cache_size must be a positive multiple of 32, got {self.cache_size}"
+            )
+        check_in(self.schedule, "schedule", SCHEDULES)
+        if self.threads_per_cta % 32 or self.threads_per_cta <= 0:
+            raise ConfigError("threads_per_cta must be a positive multiple of 32")
+        if self.vector_width is not None and self.vector_width not in (1, 2, 3, 4):
+            raise ConfigError("vector_width must be None or 1..4")
+
+    @property
+    def warps_per_cta(self) -> int:
+        return self.threads_per_cta // 32
+
+
+DEFAULT_CONFIG = GnnOneConfig()
+
+#: Fig-8 ablation points for SDDMM.
+ABLATION_BASELINE = GnnOneConfig(
+    enable_nze_cache=False, enable_row_reuse=False, vector_width=1
+)
+ABLATION_DATA_REUSE = GnnOneConfig(vector_width=1)
+ABLATION_FULL = GnnOneConfig()

@@ -1,0 +1,98 @@
+"""Reduction and write-back (Section 4.3).
+
+Thanks to the Consecutive schedule, reduction is mostly thread-local:
+
+* **SDDMM** — each thread locally sums its ``vector_width`` products,
+  then the thread group tree-reduces in ``log2(threads_per_group)``
+  shuffle rounds (3 rounds for F=32 instead of the feature-parallel 5)
+  and lane 0 stores the scalar to the edge-level output.
+* **SpMM** — the running reduction folds into Stage 2's FMAs; at every
+  row *segment* boundary the group writes its partial feature vector
+  with one atomicAdd per element (the paper keeps plain atomics and
+  leaves smarter write-back as future work).  Contention is measured
+  from the actual emitted row multiset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.atomics import conflict_degree
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import feature_row_sectors, streaming_sectors
+from repro.gpusim.trace import KernelTrace
+from repro.kernels.gnnone.scheduler import SchedulePlan
+from repro.kernels.gnnone.stage1 import Stage1Plan
+
+
+def record_reduction_sddmm(
+    trace: KernelTrace,
+    s1: Stage1Plan,
+    sched: SchedulePlan,
+    device: DeviceSpec,
+) -> None:
+    shape = sched.shape
+    steps = sched.steps_per_warp(s1.chunks.chunk_sizes.astype(np.float64))
+    nze_per_warp = s1.chunks.chunk_sizes.astype(np.float64)
+    # Thread-local partial sums cost vector_width-1 adds (already inside
+    # the dot-product flop count); the inter-thread tree costs
+    # reduction_rounds shuffles per step, plus one implicit barrier.
+    trace.add_phase(
+        "tree_reduction",
+        "reduce",
+        shuffles=steps * shape.reduction_rounds,
+        barriers=steps,
+        flops=steps * shape.reduction_rounds * shape.groups_per_warp,
+    )
+    # Edge-level output: one float per NZE, written by group leaders;
+    # the stream is contiguous so stores coalesce across groups.
+    trace.add_phase(
+        "edge_store",
+        "store",
+        sectors=streaming_sectors(nze_per_warp, 4),
+    )
+
+
+def record_reduction_spmm(
+    trace: KernelTrace,
+    s1: Stage1Plan,
+    sched: SchedulePlan,
+    rows: np.ndarray,
+    feature_length: int,
+    device: DeviceSpec,
+) -> None:
+    shape = sched.shape
+    segments = sched.segments_per_warp().astype(np.float64)
+    # Each segment flush: every thread in the group atomically adds its
+    # vector_width partial elements -> `loads_per_thread*vector_width`
+    # word-atomics issued back-to-back per thread; warp-wide that is
+    # ~vector_width instructions (groups fire in parallel).
+    atomic_ops = np.ceil(segments / shape.groups_per_warp) * shape.vector_width
+    # Contention: the row each slice's segments target.  Consecutive
+    # slices of one warp often end/start on the same row (a row split
+    # across groups) -> measured, not assumed.
+    seg_rows = _segment_rows(rows, sched)
+    conflict = conflict_degree(seg_rows) if seg_rows.size else 1.0
+    trace.add_phase(
+        "running_reduction_writeback",
+        "reduce",
+        atomics=atomic_ops,
+        atomic_conflict_degree=conflict,
+    )
+    trace.add_phase(
+        "output_store",
+        "store",
+        sectors=segments * feature_row_sectors(feature_length * 4),
+    )
+
+
+def _segment_rows(rows: np.ndarray, sched: SchedulePlan) -> np.ndarray:
+    """Row id of every (slice, segment) pair, in schedule order."""
+    if rows.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(sched.slice_of_nze, kind="stable")
+    s_sorted = sched.slice_of_nze[order]
+    r_sorted = np.asarray(rows)[order]
+    new_seg = np.ones(rows.size, dtype=bool)
+    new_seg[1:] = (r_sorted[1:] != r_sorted[:-1]) | (s_sorted[1:] != s_sorted[:-1])
+    return r_sorted[new_seg]

@@ -1,0 +1,88 @@
+"""The symbiotic thread scheduler (Section 4.2).
+
+Partitions each warp into thread groups sized by the feature length and
+vector width (``thread_group_shape``), then assigns the warp's cached
+NZEs to groups by either the **Consecutive** or **Round-robin** policy
+(Listing 2).  The scheduler's output — per-NZE slice ids plus the
+segment (row-run) structure of every slice — feeds both kernels:
+
+* SDDMM reuses the row's vertex features until the group's slice hits a
+  new row (one feature load per *segment*, not per NZE);
+* SpMM keeps a thread-local running reduction per segment, emitting one
+  atomic write per segment.
+
+Consecutive slices follow the CSR-ordered COO, so segments are long;
+Round-robin interleaves rows, shattering segments — that is the whole
+Fig-10 story, and it falls out of the segment counts computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.warp import ThreadGroupShape, thread_group_shape
+from repro.kernels.gnnone.config import CONSECUTIVE, GnnOneConfig
+from repro.sparse.partition import (
+    consecutive_slice_ids,
+    round_robin_slice_ids,
+    segments_in_interleaved_slices,
+)
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """Everything Stage 2 needs about the warp-internal schedule."""
+
+    shape: ThreadGroupShape
+    #: True when the Consecutive policy produced this plan
+    consecutive: bool
+    #: thread-group-slice id of every NZE (global across warps)
+    slice_of_nze: np.ndarray
+    #: warp id of every NZE
+    warp_of_nze: np.ndarray
+    #: distinct row segments inside each slice
+    segments_per_slice: np.ndarray
+    n_slices: int
+    n_warps: int
+
+    def segments_per_warp(self) -> np.ndarray:
+        """Total row segments over a warp's slices (atomics in SpMM)."""
+        groups = self.shape.groups_per_warp
+        warp_of_slice = np.arange(self.n_slices) // groups
+        return np.bincount(
+            warp_of_slice, weights=self.segments_per_slice, minlength=self.n_warps
+        )
+
+    def steps_per_warp(self, chunk_sizes: np.ndarray) -> np.ndarray:
+        """Lockstep iterations: the groups advance together over their
+        slices, so a warp takes ``ceil(chunk / groups)`` steps."""
+        return np.ceil(chunk_sizes / self.shape.groups_per_warp)
+
+
+def plan_schedule(
+    rows: np.ndarray,
+    chunk_of_nze: np.ndarray,
+    n_chunks: int,
+    config: GnnOneConfig,
+    feature_length: int,
+) -> SchedulePlan:
+    """Assign cached NZEs to thread groups under the configured policy."""
+    shape = thread_group_shape(feature_length, config.vector_width)
+    groups = shape.groups_per_warp
+    if config.schedule == CONSECUTIVE:
+        slice_ids = consecutive_slice_ids(chunk_of_nze, config.cache_size, groups)
+    else:
+        slice_ids = round_robin_slice_ids(chunk_of_nze, config.cache_size, groups)
+    n_slices = n_chunks * groups
+    segments = segments_in_interleaved_slices(rows, slice_ids, n_slices)
+    return SchedulePlan(
+        shape=shape,
+        consecutive=config.schedule == CONSECUTIVE,
+        slice_of_nze=slice_ids,
+        warp_of_nze=chunk_of_nze,
+        segments_per_slice=segments,
+        n_slices=n_slices,
+        n_warps=n_chunks,
+    )

@@ -1,0 +1,95 @@
+"""Kernel registry: every kernel instance keyed by figure-label names.
+
+The benchmark harness looks kernels up by the names the paper's figures
+use; examples and the public API use the same names for ``backend=``
+selection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BenchmarkError
+from repro.kernels.base import SDDMMKernel, SpMMKernel, SpMVKernel
+from repro.kernels.baselines import (
+    BinnedSpMV,
+    CsrScalarSpMV,
+    CsrVectorSpMV,
+    CuSparseSDDMM,
+    CuSparseSpMM,
+    DaltonSpMV,
+    DGLSDDMM,
+    DGLSpMM,
+    DgSparseSDDMM,
+    FeatGraphSDDMM,
+    FeatGraphSpMM,
+    GeSpMM,
+    GNNAdvisorSpMM,
+    HuangSpMM,
+    MergeSpMV,
+    SputnikSDDMM,
+    SputnikSpMM,
+    YangNonzeroSplitSpMM,
+)
+from repro.kernels.gnnone import GnnOneSDDMM, GnnOneSpMM, GnnOneSpMV
+
+_SPMM_FACTORIES: dict[str, Callable[[], SpMMKernel]] = {
+    "gnnone": GnnOneSpMM,
+    "ge-spmm": GeSpMM,
+    "cusparse": CuSparseSpMM,
+    "gnnadvisor": GNNAdvisorSpMM,
+    "huang": HuangSpMM,
+    "featgraph": FeatGraphSpMM,
+    "dgl": DGLSpMM,
+    "sputnik": SputnikSpMM,
+    "yang-nzsplit": YangNonzeroSplitSpMM,
+}
+
+_SDDMM_FACTORIES: dict[str, Callable[[], SDDMMKernel]] = {
+    "gnnone": GnnOneSDDMM,
+    "dgl": DGLSDDMM,
+    "dgsparse": DgSparseSDDMM,
+    "featgraph": FeatGraphSDDMM,
+    "cusparse": CuSparseSDDMM,
+    "sputnik": SputnikSDDMM,
+}
+
+_SPMV_FACTORIES: dict[str, Callable[[], SpMVKernel]] = {
+    "gnnone": GnnOneSpMV,
+    "merge-spmv": MergeSpMV,
+    "dalton": DaltonSpMV,
+    "csr-scalar": CsrScalarSpMV,
+    "csr-vector": CsrVectorSpMV,
+    "binned": BinnedSpMV,
+}
+
+
+def _lookup(table: dict, kind: str, name: str):
+    try:
+        return table[name]()
+    except KeyError:
+        raise BenchmarkError(f"unknown {kind} kernel {name!r}; known: {sorted(table)}")
+
+
+def spmm_kernel(name: str) -> SpMMKernel:
+    return _lookup(_SPMM_FACTORIES, "spmm", name)
+
+
+def sddmm_kernel(name: str) -> SDDMMKernel:
+    return _lookup(_SDDMM_FACTORIES, "sddmm", name)
+
+
+def spmv_kernel(name: str) -> SpMVKernel:
+    return _lookup(_SPMV_FACTORIES, "spmv", name)
+
+
+def spmm_kernel_names() -> tuple[str, ...]:
+    return tuple(sorted(_SPMM_FACTORIES))
+
+
+def sddmm_kernel_names() -> tuple[str, ...]:
+    return tuple(sorted(_SDDMM_FACTORIES))
+
+
+def spmv_kernel_names() -> tuple[str, ...]:
+    return tuple(sorted(_SPMV_FACTORIES))

@@ -1,0 +1,72 @@
+"""Training-side graph wrapper: cached transpose and GCN normalization.
+
+The backward pass of ``Y = A X`` needs ``A^T`` (dX = A^T dY); GNN
+frameworks keep the reverse topology cached.  For GNNOne the transpose
+is just the COO re-sorted by column — still one storage format — while
+DGL materializes a CSC alongside (accounted by the memory model).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.sparse.convert import add_self_loops, transpose_coo
+from repro.sparse.coo import COOMatrix
+
+
+class GraphData:
+    """A graph prepared for GNN training."""
+
+    def __init__(self, coo: COOMatrix, *, self_loops: bool = True):
+        self.raw = coo
+        self.coo = add_self_loops(coo) if self_loops else coo
+
+    @property
+    def num_vertices(self) -> int:
+        return self.coo.num_rows
+
+    @property
+    def num_edges(self) -> int:
+        return self.coo.nnz
+
+    @cached_property
+    def transpose_perm(self) -> np.ndarray:
+        """Permutation mapping original edge order to ``coo_t``'s order."""
+        return np.lexsort((self.coo.rows, self.coo.cols))
+
+    @cached_property
+    def coo_t(self) -> COOMatrix:
+        perm = self.transpose_perm
+        return COOMatrix(
+            self.coo.num_cols,
+            self.coo.num_rows,
+            self.coo.cols[perm],
+            self.coo.rows[perm],
+        )
+
+    @cached_property
+    def degrees(self) -> np.ndarray:
+        return self.coo.row_degrees()
+
+    @cached_property
+    def gcn_edge_values(self) -> np.ndarray:
+        """Symmetric normalization 1/sqrt(d_r d_c) (Kipf & Welling)."""
+        d = np.maximum(self.degrees.astype(np.float64), 1.0)
+        inv_sqrt = 1.0 / np.sqrt(d)
+        return inv_sqrt[self.coo.rows] * inv_sqrt[self.coo.cols]
+
+    @cached_property
+    def ones_edge_values(self) -> np.ndarray:
+        """Plain aggregation values (GIN's sum aggregator)."""
+        return np.ones(self.coo.nnz, dtype=np.float64)
+
+    @cached_property
+    def row_boundaries(self) -> np.ndarray:
+        """Start index of each row segment in the CSR-ordered COO —
+        the reduceat boundaries edge-softmax segment ops use."""
+        rows = self.coo.rows
+        if rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])

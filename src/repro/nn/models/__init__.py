@@ -1,0 +1,18 @@
+"""GNN models: GCN, GIN, GAT (the paper's Section 5.3 trio) plus the
+GraphSAGE extension."""
+
+from repro.nn.models.gat import GAT, GATLayer
+from repro.nn.models.gcn import GCN, GCNLayer
+from repro.nn.models.gin import GIN, GINLayer
+from repro.nn.models.sage import GraphSAGE, SAGELayer
+
+__all__ = [
+    "GAT",
+    "GATLayer",
+    "GCN",
+    "GCNLayer",
+    "GIN",
+    "GINLayer",
+    "GraphSAGE",
+    "SAGELayer",
+]

@@ -1,0 +1,68 @@
+"""GraphSAGE (Hamilton et al. [15]) — mean-aggregator variant.
+
+An extension beyond the paper's GCN/GIN/GAT trio, exercising the same
+SpMM substrate: ``H' = sigma(W_self H + W_neigh * mean_agg(H))`` where
+the mean aggregation is an SpMM with degree-normalized edge values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.backend import TrainingBackend, get_backend
+from repro.nn.graph import GraphData
+from repro.nn.modules import Dropout, Linear, Module
+from repro.nn.sparse_ops import spmm
+from repro.nn.tensor import Tensor
+from repro.utils.rng import default_rng
+
+
+def mean_edge_values(graph: GraphData) -> np.ndarray:
+    """1/deg(row) per edge: the mean aggregator's SpMM weights."""
+    deg = np.maximum(graph.degrees.astype(np.float64), 1.0)
+    return 1.0 / deg[graph.coo.rows]
+
+
+class SAGELayer(Module):
+    def __init__(self, in_features: int, out_features: int, *, rng=None):
+        super().__init__()
+        rng = default_rng(rng)
+        self.self_linear = Linear(in_features, out_features, rng=rng)
+        self.neigh_linear = Linear(in_features, out_features, bias=False, rng=rng)
+
+    def forward(self, graph: GraphData, x: Tensor, backend: TrainingBackend) -> Tensor:
+        ev = Tensor(mean_edge_values(graph))
+        agg = spmm(graph, ev, x, backend)
+        return self.self_linear(x) + self.neigh_linear(agg)
+
+
+class GraphSAGE(Module):
+    """Mean-aggregator GraphSAGE for full-graph node classification."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        num_classes: int,
+        *,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        backend: TrainingBackend | str = "gnnone",
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = default_rng(seed)
+        self.backend = get_backend(backend)
+        dims = [in_features] + [hidden] * (num_layers - 1) + [num_classes]
+        self.layers = [SAGELayer(a, b, rng=rng) for a, b in zip(dims[:-1], dims[1:])]
+        self.dropouts = [Dropout(dropout, seed=seed + i) for i in range(num_layers - 1)]
+
+    def forward(self, graph: GraphData, x: Tensor) -> Tensor:
+        h = x
+        for i, layer in enumerate(self.layers):
+            h = layer(graph, h, self.backend)
+            if i < len(self.layers) - 1:
+                h = F.relu(h)
+                h = self.dropouts[i](h)
+        return h

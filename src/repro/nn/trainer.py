@@ -1,0 +1,113 @@
+"""Training harness: real accuracy + simulated GPU time per epoch.
+
+Runs the actual NumPy training loop (so Fig-5 accuracies are real) while
+every kernel charges its simulated time to a :class:`SimClock`; since
+the simulated time of an epoch is deterministic, end-to-end "200 epoch"
+times (Figs 6-7) are ``epochs * mean(epoch_us)`` without running all
+200 numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.nn import functional as F
+from repro.nn.clock import SimClock, simulate
+from repro.nn.data import NodeClassificationData
+from repro.nn.graph import GraphData
+from repro.nn.modules import Module
+from repro.nn.optim import Adam, Optimizer
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class EpochRecord:
+    epoch: int
+    loss: float
+    train_acc: float
+    val_acc: float
+    sim_us: float
+
+
+@dataclass
+class TrainResult:
+    history: list[EpochRecord] = field(default_factory=list)
+    test_acc: float = 0.0
+    #: simulated microseconds of one (steady-state) training epoch
+    epoch_sim_us: float = 0.0
+    #: simulated time buckets of the measured epoch
+    buckets: dict[str, float] = field(default_factory=dict)
+
+    def total_sim_us(self, epochs: int) -> float:
+        """Projected end-to-end simulated time for ``epochs`` epochs."""
+        return self.epoch_sim_us * epochs
+
+    @property
+    def final_val_acc(self) -> float:
+        return self.history[-1].val_acc if self.history else 0.0
+
+
+class Trainer:
+    """Full-graph node-classification training."""
+
+    def __init__(
+        self,
+        model: Module,
+        graph: GraphData,
+        data: NodeClassificationData,
+        *,
+        optimizer: Optimizer | None = None,
+        lr: float = 0.01,
+        device: DeviceSpec | str | None = None,
+    ):
+        self.model = model
+        self.graph = graph
+        self.data = data
+        self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
+        self.device = get_device(device)
+        fused = getattr(getattr(model, "backend", None), "fused_elementwise", False)
+        self.clock = SimClock(device=self.device, fused_elementwise=fused)
+
+    def train_epoch(self, epoch: int) -> EpochRecord:
+        self.model.train()
+        self.clock.reset()
+        with simulate(self.clock):
+            x = Tensor(self.data.features)
+            logits = self.model(self.graph, x)
+            log_probs = F.log_softmax(logits)
+            loss = F.nll_loss(log_probs, self.data.labels, self.data.train_mask)
+            self.model.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+        train_acc = F.accuracy(logits.data, self.data.labels, self.data.train_mask)
+        val_acc = self.evaluate("val")
+        return EpochRecord(
+            epoch=epoch,
+            loss=float(loss.data),
+            train_acc=train_acc,
+            val_acc=val_acc,
+            sim_us=self.clock.total_us,
+        )
+
+    def evaluate(self, split: str = "test") -> float:
+        mask = {"train": self.data.train_mask, "val": self.data.val_mask,
+                "test": self.data.test_mask}[split]
+        self.model.eval()
+        logits = self.model(self.graph, Tensor(self.data.features))
+        self.model.train()
+        return F.accuracy(logits.data, self.data.labels, mask)
+
+    def fit(self, epochs: int) -> TrainResult:
+        result = TrainResult()
+        for epoch in range(epochs):
+            result.history.append(self.train_epoch(epoch))
+        result.test_acc = self.evaluate("test")
+        if result.history:
+            # Steady-state epoch time (first epoch may include one-time
+            # format preprocessing in the baselines).
+            result.epoch_sim_us = float(np.median([r.sim_us for r in result.history]))
+        result.buckets = dict(self.clock.buckets)
+        return result

@@ -1,0 +1,161 @@
+"""COO (coordinate list) sparse matrix — GNNOne's single storage format.
+
+Following the paper (and cuSPARSE's convention it cites), the COO is
+stored *in the CSR way*: entries sorted by row id, ties by column id.
+That ordering is what makes the Consecutive scheduling policy profitable
+— consecutive NZEs assigned to one thread group usually share a row, so
+SDDMM can reuse the row's vertex features and SpMM can keep a
+thread-local running reduction until a row split.
+
+Only the topology lives here; edge-level tensors (the ``|E| x 1`` values)
+are separate arrays, as in Fig. 1 of the paper, because they are training
+state while the topology is static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.utils.validation import check_array
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sparse.csr import CSRMatrix
+
+INDEX_DTYPE = np.int32
+
+
+@dataclass
+class COOMatrix:
+    """Sparse matrix topology in coordinate format.
+
+    Attributes
+    ----------
+    num_rows, num_cols:
+        Dense shape; for graphs both equal ``|V|``.
+    rows, cols:
+        Row/column id of each NZE, int32, CSR-ordered.
+    """
+
+    num_rows: int
+    num_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = check_array(self.rows, "rows", ndim=1).astype(INDEX_DTYPE, copy=False)
+        self.cols = check_array(self.cols, "cols", ndim=1).astype(INDEX_DTYPE, copy=False)
+        if self.rows.shape != self.cols.shape:
+            raise FormatError(
+                f"rows/cols length mismatch: {self.rows.shape} vs {self.cols.shape}"
+            )
+        if self.num_rows < 0 or self.num_cols < 0:
+            raise FormatError("matrix dimensions must be non-negative")
+        if self.nnz:
+            if self.rows.min(initial=0) < 0 or self.cols.min(initial=0) < 0:
+                raise FormatError("negative indices")
+            if self.rows.max(initial=-1) >= self.num_rows:
+                raise FormatError("row index out of range")
+            if self.cols.max(initial=-1) >= self.num_cols:
+                raise FormatError("column index out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Non-zero element count (== edge count |E|)."""
+        return int(self.rows.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    def is_csr_ordered(self) -> bool:
+        """True if entries are sorted by (row, col) — the cuSPARSE COO rule."""
+        if self.nnz <= 1:
+            return True
+        r, c = self.rows.astype(np.int64), self.cols.astype(np.int64)
+        key = r * (self.num_cols + 1) + c
+        return bool(np.all(key[1:] >= key[:-1]))
+
+    def sort_csr_order(self) -> "COOMatrix":
+        """Return a copy sorted by (row, col)."""
+        order = np.lexsort((self.cols, self.rows))
+        return COOMatrix(self.num_rows, self.num_cols, self.rows[order], self.cols[order])
+
+    # ------------------------------------------------------------------
+    def row_degrees(self) -> np.ndarray:
+        """Row lengths (vertex out-degrees), length ``num_rows``."""
+        return np.bincount(self.rows, minlength=self.num_rows).astype(np.int64)
+
+    def memory_bytes(self) -> int:
+        """Device bytes for the topology: two int32 arrays."""
+        return self.rows.nbytes + self.cols.nbytes
+
+    def row_splits_in_chunks(self, chunk: int) -> np.ndarray:
+        """Distinct rows in each consecutive chunk of ``chunk`` NZEs.
+
+        Drives the running-reduction accounting: each distinct row in a
+        thread group's slice costs one atomic write-back.
+        """
+        if chunk <= 0:
+            raise FormatError("chunk must be positive")
+        if self.nnz == 0:
+            return np.zeros(0, dtype=np.int64)
+        n_chunks = (self.nnz + chunk - 1) // chunk
+        chunk_ids = np.arange(self.nnz) // chunk
+        # A new segment starts at position 0 of a chunk or at a row change.
+        new_seg = np.ones(self.nnz, dtype=bool)
+        new_seg[1:] = (self.rows[1:] != self.rows[:-1]) | (chunk_ids[1:] != chunk_ids[:-1])
+        return np.bincount(chunk_ids[new_seg], minlength=n_chunks).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def to_csr(self) -> "CSRMatrix":
+        from repro.sparse.csr import CSRMatrix
+
+        coo = self if self.is_csr_ordered() else self.sort_csr_order()
+        indptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(coo.rows, minlength=self.num_rows), out=indptr[1:])
+        return CSRMatrix(self.num_rows, self.num_cols, indptr, coo.cols.copy())
+
+    def to_scipy(self, values: np.ndarray | None = None):
+        """Convert to ``scipy.sparse.coo_matrix`` (reference numerics)."""
+        import scipy.sparse as sp
+
+        data = np.ones(self.nnz, dtype=np.float64) if values is None else values
+        return sp.coo_matrix(
+            (data, (self.rows, self.cols)), shape=(self.num_rows, self.num_cols)
+        )
+
+    def to_dense(self, values: np.ndarray | None = None) -> np.ndarray:
+        return self.to_scipy(values).toarray()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        num_rows: int,
+        num_cols: int,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        *,
+        deduplicate: bool = True,
+    ) -> "COOMatrix":
+        """Build a CSR-ordered COO from an unsorted edge list."""
+        rows = np.asarray(rows, dtype=INDEX_DTYPE)
+        cols = np.asarray(cols, dtype=INDEX_DTYPE)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        if deduplicate and rows.size:
+            keep = np.ones(rows.size, dtype=bool)
+            keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows, cols = rows[keep], cols[keep]
+        return cls(num_rows, num_cols, rows, cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"csr_ordered={self.is_csr_ordered()})"
+        )

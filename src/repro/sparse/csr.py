@@ -1,0 +1,85 @@
+"""CSR (compressed sparse row) matrix — the baselines' format.
+
+DGL's SpMM, dgSparse/dgNN, GE-SpMM, FeatGraph, CuSparse and the
+vertex-parallel designs all consume CSR.  Keeping both COO and CSR alive
+simultaneously (as DGL does) is exactly the memory cost the paper's
+single-format argument removes; :meth:`memory_bytes` feeds that
+accounting in the training-footprint model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.utils.validation import check_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.coo import COOMatrix
+
+
+@dataclass
+class CSRMatrix:
+    """Sparse matrix topology in CSR format."""
+
+    num_rows: int
+    num_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = check_array(self.indptr, "indptr", ndim=1).astype(np.int64, copy=False)
+        self.indices = check_array(self.indices, "indices", ndim=1).astype(np.int32, copy=False)
+        if self.indptr.shape[0] != self.num_rows + 1:
+            raise FormatError(
+                f"indptr length {self.indptr.shape[0]} != num_rows+1 ({self.num_rows + 1})"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_cols
+        ):
+            raise FormatError("column index out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    def row_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def expand_rows(self) -> np.ndarray:
+        """Materialize the per-NZE row id array (COO's first array)."""
+        return np.repeat(
+            np.arange(self.num_rows, dtype=np.int32), self.row_degrees()
+        )
+
+    def memory_bytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> "COOMatrix":
+        from repro.sparse.coo import COOMatrix
+
+        return COOMatrix(self.num_rows, self.num_cols, self.expand_rows(), self.indices.copy())
+
+    def to_scipy(self, values: np.ndarray | None = None):
+        import scipy.sparse as sp
+
+        data = np.ones(self.nnz, dtype=np.float64) if values is None else values
+        return sp.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.num_rows, self.num_cols)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,25 @@
+"""Custom sparse storage formats used by baseline systems.
+
+The paper compares GNNOne's standard COO against the *custom formats*
+prior SpMM works preprocess into: neighbor groups (GNNAdvisor, Huang et
+al.), merge-path coordinates (Merrill & Garland's Merge-SpMV), row
+swizzling (Sputnik), and degree binning (Enterprise/Gunrock-style).
+Each carries its preprocessing step, extra metadata (and its memory
+cost), and the residual imbalance the paper points out.
+"""
+
+from repro.sparse.formats.neighbor_group import NeighborGroupFormat, build_neighbor_groups
+from repro.sparse.formats.merge_path import MergePathFormat, build_merge_path
+from repro.sparse.formats.row_swizzle import RowSwizzleFormat, build_row_swizzle
+from repro.sparse.formats.binning import DegreeBins, build_degree_bins
+
+__all__ = [
+    "NeighborGroupFormat",
+    "build_neighbor_groups",
+    "MergePathFormat",
+    "build_merge_path",
+    "RowSwizzleFormat",
+    "build_row_swizzle",
+    "DegreeBins",
+    "build_degree_bins",
+]

@@ -1,0 +1,24 @@
+"""Shared utilities: validation helpers, RNG management, timing, logging."""
+
+from repro.utils.validation import (
+    check_array,
+    check_dtype,
+    check_in,
+    check_nonneg,
+    check_positive,
+    check_shape,
+)
+from repro.utils.rng import default_rng, spawn_rng
+from repro.utils.timing import Timer
+
+__all__ = [
+    "check_array",
+    "check_dtype",
+    "check_in",
+    "check_nonneg",
+    "check_positive",
+    "check_shape",
+    "default_rng",
+    "spawn_rng",
+    "Timer",
+]

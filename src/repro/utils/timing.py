@@ -1,0 +1,32 @@
+"""Wall-clock timing helper for the benchmark harness.
+
+Simulated-GPU time comes from :mod:`repro.gpusim.cost`; this module only
+measures host-side wall time (e.g. preprocessing cost of custom formats,
+which the paper's Section 5.4.5 discusses as a one-time cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager."""
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None

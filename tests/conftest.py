@@ -1,0 +1,49 @@
+"""Shared fixtures: small graphs and operand factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, generators
+
+
+@pytest.fixture(scope="session")
+def tiny_coo() -> COOMatrix:
+    """The 4x4 example matrix from the paper's Fig. 1 neighborhood."""
+    rows = np.array([0, 0, 1, 2, 2, 2, 3])
+    cols = np.array([1, 3, 2, 0, 1, 3, 2])
+    return COOMatrix.from_edges(4, 4, rows, cols)
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> COOMatrix:
+    """A small skewed graph big enough to span several warps."""
+    return generators.power_law(500, 8.0, seed=42)
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> COOMatrix:
+    """~40k-edge R-MAT graph: multiple CTAs, heavy skew."""
+    return generators.rmat(10, 20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def uniform_graph() -> COOMatrix:
+    """Near-uniform degrees (road-like)."""
+    return generators.road_grid(40, seed=3)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_operands(coo: COOMatrix, F: int, rng: np.random.Generator):
+    """(edge_values, X, Xrow, x) operand bundle for kernel tests."""
+    return (
+        rng.standard_normal(coo.nnz),
+        rng.standard_normal((coo.num_cols, F)),
+        rng.standard_normal((coo.num_rows, F)),
+        rng.standard_normal(coo.num_cols),
+    )

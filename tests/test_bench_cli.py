@@ -1,0 +1,24 @@
+"""The `python -m repro.bench` CLI."""
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig03" in out and "table01" in out and "ext-fusion" in out
+
+    def test_run_single(self, capsys):
+        assert main(["fig09", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CACHE_SIZE" in out
+        assert "note:" in out
+
+    def test_unknown_experiment_raises(self):
+        import pytest
+
+        from repro.errors import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            main(["fig99"])

@@ -1,0 +1,83 @@
+"""Benchmark harness: registry, report formatting, OOM cell conventions."""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiment_ids, run_experiment, time_sddmm, time_spmm
+from repro.bench.report import (
+    SDDMM_OOM_SPEEDUP,
+    SPMM_OOM_SPEEDUP,
+    ExperimentResult,
+    render_table,
+    speedup_cell,
+)
+from repro.errors import BenchmarkError
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = set(experiment_ids())
+        expected = {f"fig{n:02d}" for n in range(3, 13)} | {
+            "table01",
+            "ext-fusion",
+            "ext-spmv",
+        }
+        assert ids == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(BenchmarkError):
+            run_experiment("fig99")
+
+
+class TestTimingHelpers:
+    def test_time_spmm_returns_float(self):
+        t = time_spmm("gnnone", "G3", 16)
+        assert t is not None and t > 0
+
+    def test_time_sddmm_returns_float(self):
+        t = time_sddmm("gnnone", "G3", 16)
+        assert t is not None and t > 0
+
+    def test_oom_at_paper_scale_returns_none(self):
+        # uk-2005 at dim 64: nobody fits (Fig 4's "OOM" cells).
+        assert time_spmm("gnnone", "G18", 64) is None
+
+    def test_sputnik_launch_error_returns_none(self):
+        assert time_sddmm("sputnik", "G13", 16) is None
+
+
+class TestSpeedupCells:
+    def test_normal_cell(self):
+        assert speedup_cell(30.0, 10.0, oom_marker=64.0) == 3.0
+
+    def test_baseline_oom_marker(self):
+        assert speedup_cell(None, 10.0, oom_marker=SDDMM_OOM_SPEEDUP) == 64.0
+        assert speedup_cell(None, 10.0, oom_marker=SPMM_OOM_SPEEDUP) == 256.0
+
+    def test_everyone_oom(self):
+        assert speedup_cell(None, None, oom_marker=64.0) == "OOM"
+        assert speedup_cell(5.0, None, oom_marker=64.0) == "OOM"
+
+
+class TestReport:
+    def test_render_and_stats(self):
+        res = ExperimentResult("figXX", "demo", ["a", "b"])
+        res.add_row(a="x", b=2.0)
+        res.add_row(a="y", b=8.0)
+        res.add_row(a="z", b="OOM")
+        text = res.render()
+        assert "figXX" in text and "OOM" in text
+        assert res.geomean("b") == pytest.approx(4.0)
+        assert len(res.numeric_column("b")) == 2
+
+    def test_geomean_empty_is_nan(self):
+        res = ExperimentResult("e", "t", ["a"])
+        assert np.isnan(res.geomean("a"))
+
+    def test_render_table_empty(self):
+        text = render_table("t", ["x"], [])
+        assert "t" in text
+
+    def test_render_formats_numbers(self):
+        text = render_table("t", ["x"], [{"x": 123456.0}, {"x": 0.123}, {"x": None}])
+        assert "123,456" in text and "0.123" in text and "-" in text

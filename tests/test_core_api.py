@@ -1,0 +1,111 @@
+"""Public API: dispatch, configs, plan introspection, autotune."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.errors import BenchmarkError
+from repro.kernels.base import reference_sddmm, reference_spmm, reference_spmv
+from repro.kernels.gnnone import CONSECUTIVE, ROUND_ROBIN, GnnOneConfig
+from tests.conftest import make_operands
+
+
+class TestApi:
+    def test_spmm_default_backend(self, small_graph, rng):
+        vals, X, _, _ = make_operands(small_graph, 16, rng)
+        out, report = core.spmm(small_graph, vals, X)
+        np.testing.assert_allclose(out, reference_spmm(small_graph, vals, X))
+        assert report.kernel_name.startswith("gnnone")
+
+    def test_spmm_baseline_backend(self, small_graph, rng):
+        vals, X, _, _ = make_operands(small_graph, 16, rng)
+        out, report = core.spmm(small_graph, vals, X, backend="ge-spmm")
+        np.testing.assert_allclose(out, reference_spmm(small_graph, vals, X))
+        assert report.kernel_name == "ge-spmm"
+
+    def test_spmm_custom_config(self, small_graph, rng):
+        vals, X, _, _ = make_operands(small_graph, 16, rng)
+        out, report = core.spmm(
+            small_graph, vals, X, config=GnnOneConfig(cache_size=64)
+        )
+        assert "c64" in report.kernel_name
+
+    def test_sddmm(self, small_graph, rng):
+        _, X, Xr, _ = make_operands(small_graph, 16, rng)
+        out, _ = core.sddmm(small_graph, Xr, X)
+        np.testing.assert_allclose(out, reference_sddmm(small_graph, Xr, X))
+
+    def test_spmv(self, small_graph, rng):
+        vals, _, _, x = make_operands(small_graph, 4, rng)
+        out, _ = core.spmv(small_graph, vals, x)
+        np.testing.assert_allclose(out, reference_spmv(small_graph, vals, x))
+
+    def test_unknown_backend(self, small_graph, rng):
+        vals, X, _, _ = make_operands(small_graph, 16, rng)
+        with pytest.raises(BenchmarkError):
+            core.spmm(small_graph, vals, X, backend="torch")
+
+    def test_run_variants_return_kernel_result(self, small_graph, rng):
+        vals, X, _, _ = make_operands(small_graph, 16, rng)
+        res = core.run_spmm(small_graph, vals, X)
+        assert res.trace.n_warps > 0
+
+    def test_top_level_reexports(self, small_graph, rng):
+        import repro
+
+        vals, X, _, _ = make_operands(small_graph, 16, rng)
+        out, _ = repro.spmm(small_graph, vals, X)
+        assert out.shape == (small_graph.num_rows, 16)
+
+
+class TestUnifiedLoadPlan:
+    def test_summary_fields(self, medium_graph):
+        plan = core.plan_unified_load(medium_graph, 32)
+        s = plan.summary()
+        assert s["groups_per_warp"] == 4
+        assert s["reduction_rounds"] == 3
+        assert s["cache_size"] == 128
+
+    def test_load_balance_near_one(self, medium_graph):
+        plan = core.plan_unified_load(medium_graph, 32)
+        assert plan.load_balance() < 1.01 or medium_graph.nnz < 128
+
+    def test_row_reuse_tracks_degree(self):
+        """High-degree graphs -> long segments -> big row reuse."""
+        from repro.sparse import generators
+
+        dense = generators.power_law(500, 60.0, seed=1)
+        sparse = generators.road_grid(30, seed=1)
+        dense_plan = core.plan_unified_load(dense, 32)
+        sparse_plan = core.plan_unified_load(sparse, 32)
+        assert dense_plan.row_reuse_factor() > sparse_plan.row_reuse_factor()
+
+    def test_smem_accounting(self, medium_graph):
+        plan = core.plan_unified_load(medium_graph, 32, with_edge_values=True)
+        assert plan.shared_memory_per_cta() == 4 * 128 * 12
+
+    def test_round_robin_more_segments(self, medium_graph):
+        cons = core.plan_unified_load(medium_graph, 32)
+        rr = core.plan_unified_load(
+            medium_graph, 32, config=GnnOneConfig(schedule=ROUND_ROBIN)
+        )
+        assert rr.mean_segments_per_slice() >= cons.mean_segments_per_slice()
+
+
+class TestAutotune:
+    def test_paper_defaults_win_on_skewed_graph(self, medium_graph):
+        """Section 4.1.1/4.2.2: (128, Consecutive) should be optimal."""
+        result = core.autotune(medium_graph, 32, "spmm")
+        assert result.config.schedule == CONSECUTIVE
+        assert result.config.cache_size >= 64
+
+    def test_trials_recorded(self, small_graph):
+        result = core.autotune(small_graph, 16, "sddmm", cache_sizes=(32, 128))
+        assert len(result.trials) == 4
+        assert result.time_us == min(result.trials.values())
+
+    def test_bad_kind(self, small_graph):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            core.autotune(small_graph, 16, "gemm")

@@ -1,0 +1,162 @@
+"""Extensions beyond the paper's headline results: fusion, SpMV survey,
+GraphSAGE, graph I/O."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import spmv_kernel, spmv_kernel_names, reference_spmv
+from repro.kernels.gnnone.fused import (
+    GnnOneFusedGATLayer,
+    fused_gat_attention_numerics,
+    unfused_gat_pipeline_time_us,
+)
+from repro.nn import GraphData, Tensor, Trainer, synthesize
+from repro.nn.models.sage import GraphSAGE, mean_edge_values
+from repro.sparse import COOMatrix, generators
+from repro.sparse import io as gio
+
+
+class TestFusedGAT:
+    def test_numerics_match_unfused_composition(self, small_graph, rng):
+        el = rng.standard_normal(small_graph.num_rows)
+        er = rng.standard_normal(small_graph.num_cols)
+        X = rng.standard_normal((small_graph.num_cols, 16))
+        res = GnnOneFusedGATLayer()(small_graph, el, er, X)
+        _, Y = fused_gat_attention_numerics(small_graph, el, er, X)
+        np.testing.assert_allclose(res.output, Y)
+
+    def test_alpha_rows_sum_to_one(self, small_graph, rng):
+        el = rng.standard_normal(small_graph.num_rows)
+        er = rng.standard_normal(small_graph.num_cols)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        alpha, _ = fused_gat_attention_numerics(small_graph, el, er, X)
+        sums = np.zeros(small_graph.num_rows)
+        np.add.at(sums, small_graph.rows, alpha)
+        nonempty = small_graph.row_degrees() > 0
+        np.testing.assert_allclose(sums[nonempty], 1.0)
+
+    def test_fusion_speedup(self, medium_graph, rng):
+        """The paper's future-work expectation: fusion helps further."""
+        el = rng.standard_normal(medium_graph.num_rows)
+        er = rng.standard_normal(medium_graph.num_cols)
+        X = rng.standard_normal((medium_graph.num_cols, 16))
+        fused = GnnOneFusedGATLayer()(medium_graph, el, er, X).time_us
+        unfused = unfused_gat_pipeline_time_us(medium_graph, el, er, X)
+        assert fused < unfused
+
+    def test_fused_memory_smaller(self):
+        fused = GnnOneFusedGATLayer().memory_bytes(10**6, 10**8, 32)
+        # unfused keeps e and alpha (|E| each) resident
+        assert fused < fused + 8 * 10**8
+
+
+class TestSpMVSurvey:
+    @pytest.mark.parametrize("name", ["csr-scalar", "csr-vector", "binned"])
+    def test_new_kernels_correct(self, small_graph, rng, name):
+        vals = rng.standard_normal(small_graph.nnz)
+        x = rng.standard_normal(small_graph.num_cols)
+        res = spmv_kernel(name)(small_graph, vals, x)
+        np.testing.assert_allclose(res.output, reference_spmv(small_graph, vals, x))
+
+    def test_csr_scalar_slowest_on_skew(self, rng):
+        g = generators.power_law(3000, 12.0, seed=5)
+        vals = rng.standard_normal(g.nnz)
+        x = rng.standard_normal(g.num_cols)
+        scalar = spmv_kernel("csr-scalar")(g, vals, x).time_us
+        gnnone = spmv_kernel("gnnone")(g, vals, x).time_us
+        assert scalar > 2 * gnnone
+
+    def test_registry_extended(self):
+        assert {"csr-scalar", "csr-vector", "binned"} <= set(spmv_kernel_names())
+
+
+class TestGraphSAGE:
+    def test_mean_edge_values(self):
+        g = GraphData(generators.chain(10), self_loops=False)
+        ev = mean_edge_values(g)
+        deg = g.degrees
+        np.testing.assert_allclose(ev, 1.0 / deg[g.coo.rows])
+
+    def test_trains_and_matches_across_backends(self):
+        from repro.sparse.datasets import load_dataset
+
+        dataset = load_dataset("G0")
+        graph = GraphData(dataset.coo)
+        data = synthesize(dataset, feature_length=16, seed=6)
+        accs = {}
+        for backend in ("gnnone", "dgl"):
+            model = GraphSAGE(16, 16, data.num_classes, backend=backend, seed=4)
+            accs[backend] = Trainer(model, graph, data, lr=0.02).fit(5).test_acc
+        assert accs["gnnone"] == accs["dgl"]
+        assert accs["gnnone"] > 1.2 / data.num_classes
+
+
+class TestGraphIO:
+    def test_npz_roundtrip(self, tmp_path, small_graph):
+        path = tmp_path / "g.npz"
+        gio.save_npz(small_graph, path)
+        back = gio.load_npz(path)
+        assert np.array_equal(back.rows, small_graph.rows)
+        assert np.array_equal(back.cols, small_graph.cols)
+
+    def test_edge_list_parsing(self):
+        text = "# comment\n0 1\n1 2\n\n2 0\n"
+        coo = gio.parse_edge_list(text)
+        assert coo.num_rows == 3
+        assert coo.nnz == 6  # symmetrized
+
+    def test_edge_list_directed(self):
+        coo = gio.parse_edge_list("0 1\n1 2\n", undirected=False)
+        assert coo.nnz == 2
+
+    def test_edge_list_bad_line(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            gio.parse_edge_list("0\n")
+
+    def test_matrix_market_symmetric(self):
+        text = "%%MatrixMarket matrix coordinate pattern symmetric\n% c\n3 3 2\n2 1\n3 2\n"
+        coo = gio.parse_matrix_market(text)
+        assert coo.num_rows == 3
+        assert coo.nnz == 4  # expanded
+
+    def test_matrix_market_general(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n"
+        coo = gio.parse_matrix_market(text)
+        assert coo.nnz == 1
+        assert coo.rows[0] == 0 and coo.cols[0] == 1
+
+    def test_matrix_market_bad_header(self):
+        from repro.errors import FormatError
+
+        with pytest.raises(FormatError):
+            gio.parse_matrix_market("not a header\n1 1 0\n")
+
+    def test_cached_loader(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        calls = []
+
+        def builder(seed):
+            calls.append(seed)
+            return generators.chain(20)
+
+        a = gio.load_cached("test-graph", builder)
+        b = gio.load_cached("test-graph", builder)
+        assert len(calls) == 1  # second call hit the cache
+        assert np.array_equal(a.rows, b.rows)
+
+
+class TestExtensionExperiments:
+    def test_ext_fusion(self):
+        from repro.bench import run_experiment
+
+        res = run_experiment("ext-fusion", quick=True)
+        assert res.geomean("speedup") > 1.0
+
+    def test_ext_spmv(self):
+        from repro.bench import run_experiment
+
+        res = run_experiment("ext-spmv", quick=True)
+        for row in res.rows:
+            assert row["gnnone"] < row["csr-scalar"]

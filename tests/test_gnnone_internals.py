@@ -1,0 +1,105 @@
+"""GNNOne internals: stage-1 planning, scheduler plans, reduction math."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import A100
+from repro.gpusim.trace import KernelTrace, LaunchConfig
+from repro.kernels.gnnone.config import CONSECUTIVE, ROUND_ROBIN, GnnOneConfig
+from repro.kernels.gnnone.scheduler import plan_schedule
+from repro.kernels.gnnone.stage1 import plan_stage1, record_stage1
+from repro.sparse.partition import edge_chunks
+
+
+class TestStage1Plan:
+    def test_smem_footprint(self):
+        plan = plan_stage1(1000, 128, with_edge_values=True)
+        assert plan.smem_bytes_per_warp == 128 * 12
+        assert plan.n_arrays == 3
+
+    def test_sddmm_two_arrays(self):
+        plan = plan_stage1(1000, 128, with_edge_values=False)
+        assert plan.n_arrays == 2
+        assert plan.smem_bytes_per_warp == 128 * 8
+
+    def test_cache_disabled(self):
+        plan = plan_stage1(1000, 128, with_edge_values=True, enable_cache=False)
+        assert plan.smem_bytes_per_warp == 0
+
+    def test_record_counts_loads_exactly(self):
+        plan = plan_stage1(256, 128, with_edge_values=True)
+        trace = KernelTrace("t", LaunchConfig(1, 64, 32, 0))
+        record_stage1(trace, plan, A100)
+        phase = trace.phases[0]
+        # 2 full chunks: each warp issues 3 arrays x 128/32 loads = 12.
+        assert phase.load_instrs[0] == 12
+        assert phase.load_instrs[1] == 12
+        # sectors: 3 arrays x 128 x 4B / 32B = 48 per warp.
+        assert phase.sectors[0] == 48
+
+    def test_bigger_cache_higher_ilp(self):
+        small = plan_stage1(256, 32, with_edge_values=True)
+        big = plan_stage1(256, 128, with_edge_values=True)
+        t1 = KernelTrace("a", LaunchConfig(2, 128, 32, 0))
+        t2 = KernelTrace("b", LaunchConfig(1, 64, 32, 0))
+        record_stage1(t1, small, A100)
+        record_stage1(t2, big, A100)
+        assert t2.phases[0].ilp > t1.phases[0].ilp
+
+
+class TestSchedulePlan:
+    def _plan(self, rows, cache, schedule, F):
+        ch = edge_chunks(len(rows), cache)
+        cfg = GnnOneConfig(cache_size=cache, schedule=schedule)
+        return plan_schedule(np.asarray(rows), ch.chunk_of_nze, ch.n_chunks, cfg, F)
+
+    def test_paper_shape_f32(self):
+        rows = np.repeat(np.arange(4), 32)
+        plan = self._plan(rows, 128, CONSECUTIVE, 32)
+        assert plan.shape.groups_per_warp == 4
+        # 4 slices of 32 NZEs, each covering exactly one row -> 1 segment.
+        assert list(plan.segments_per_slice) == [1, 1, 1, 1]
+
+    def test_round_robin_segments_explode(self):
+        rows = np.repeat(np.arange(32), 4)  # row changes every 4 NZEs
+        cons = self._plan(rows, 128, CONSECUTIVE, 32)
+        rr = self._plan(rows, 128, ROUND_ROBIN, 32)
+        assert rr.segments_per_slice.sum() > cons.segments_per_slice.sum()
+
+    def test_segments_per_warp_aggregation(self):
+        rows = np.repeat(np.arange(8), 32)  # 256 NZEs, 2 warps at cache 128
+        plan = self._plan(rows, 128, CONSECUTIVE, 32)
+        per_warp = plan.segments_per_warp()
+        assert per_warp.shape == (2,)
+        assert per_warp.sum() == plan.segments_per_slice.sum()
+
+    def test_steps_per_warp(self):
+        rows = np.zeros(128, dtype=np.int64)
+        plan = self._plan(rows, 128, CONSECUTIVE, 32)
+        sizes = np.array([128.0])
+        assert plan.steps_per_warp(sizes)[0] == 32  # 128 NZE / 4 groups
+
+    def test_consecutive_flag(self):
+        rows = np.zeros(64, dtype=np.int64)
+        assert self._plan(rows, 64, CONSECUTIVE, 32).consecutive
+        assert not self._plan(rows, 64, ROUND_ROBIN, 32).consecutive
+
+    def test_feature_length_one(self):
+        """SpMV-degenerate case: scalar groups."""
+        rows = np.arange(64)
+        plan = self._plan(rows, 64, CONSECUTIVE, 1)
+        assert plan.shape.threads_per_group == 1
+        assert plan.shape.groups_per_warp == 32
+
+
+class TestCrossDevice:
+    def test_kernels_run_on_v100(self, small_graph, rng):
+        from repro.gpusim import V100
+        from repro.kernels.gnnone import GnnOneSpMM
+
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 32))
+        a100 = GnnOneSpMM()(small_graph, vals, X, device="a100")
+        v100 = GnnOneSpMM()(small_graph, vals, X, device=V100)
+        np.testing.assert_allclose(a100.output, v100.output)
+        assert v100.time_us > a100.time_us  # weaker device

@@ -1,0 +1,109 @@
+"""Coalescing/sector math: closed forms vs the exact address-based path."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.memory import (
+    feature_row_sectors,
+    gather_feature_sectors,
+    per_warp_counts,
+    scatter_write_sectors,
+    segment_sectors_from_addresses,
+    streaming_sectors,
+    unique_per_warp,
+)
+
+
+class TestStreamingSectors:
+    def test_exact_multiple(self):
+        assert streaming_sectors(8, 4) == 1  # 32 bytes = 1 sector
+
+    def test_rounds_up(self):
+        assert streaming_sectors(9, 4) == 2
+
+    def test_vectorized(self):
+        out = streaming_sectors(np.array([8, 16, 1]), 4)
+        assert list(out) == [1, 2, 1]
+
+    def test_matches_exact_address_model(self):
+        """Contiguous 4B loads: closed form == per-address unique sectors."""
+        n = 1000
+        addrs = np.arange(n) * 4
+        warp_ids = np.zeros(n, dtype=np.int64)
+        exact = segment_sectors_from_addresses(addrs, warp_ids, 1)[0]
+        assert streaming_sectors(n, 4) == exact
+
+
+class TestFeatureRowSectors:
+    @pytest.mark.parametrize("F,expected", [(8, 1), (16, 2), (32, 4), (6, 1), (64, 8)])
+    def test_values(self, F, expected):
+        assert feature_row_sectors(F * 4) == expected
+
+
+class TestGatherFeatureSectors:
+    def test_no_dedupe_counts_occurrences(self):
+        idx = np.array([0, 0, 1])
+        warps = np.array([0, 0, 0])
+        out = gather_feature_sectors(idx, warps, 1, 128)
+        assert out[0] == 3 * 4  # 3 gathers x 4 sectors
+
+    def test_dedupe_counts_distinct(self):
+        idx = np.array([0, 0, 1])
+        warps = np.array([0, 0, 0])
+        out = gather_feature_sectors(idx, warps, 1, 128, dedupe=True)
+        assert out[0] == 2 * 4
+
+    def test_scattered_costs_sector_per_element(self):
+        idx = np.array([5])
+        warps = np.array([0])
+        out = gather_feature_sectors(idx, warps, 1, 128, scattered=True)
+        assert out[0] == 32  # 32 elements x 1 sector each
+
+    def test_per_warp_split(self):
+        idx = np.array([0, 1, 2, 3])
+        warps = np.array([0, 0, 1, 1])
+        out = gather_feature_sectors(idx, warps, 2, 32)
+        assert list(out) == [2.0, 2.0]
+
+
+class TestUniquePerWarp:
+    def test_basic(self):
+        warps = np.array([0, 0, 1, 1, 1])
+        keys = np.array([7, 7, 7, 8, 8])
+        assert list(unique_per_warp(warps, keys, 2)) == [1.0, 2.0]
+
+    def test_empty(self):
+        assert list(unique_per_warp(np.array([], dtype=int), np.array([], dtype=int), 3)) == [0, 0, 0]
+
+
+class TestScatterWrite:
+    def test_dedupes_rows_by_default(self):
+        idx = np.array([4, 4, 9])
+        warps = np.array([0, 0, 0])
+        out = scatter_write_sectors(idx, warps, 1, 4)
+        assert out[0] == 2.0
+
+    def test_no_dedupe(self):
+        idx = np.array([4, 4])
+        warps = np.array([0, 0])
+        out = scatter_write_sectors(idx, warps, 1, 4, dedupe=False)
+        assert out[0] == 2.0
+
+
+class TestPerWarpCounts:
+    def test_weighted(self):
+        out = per_warp_counts(np.array([0, 0, 2]), 3, weights=np.array([1.0, 2.0, 5.0]))
+        assert list(out) == [3.0, 0.0, 5.0]
+
+
+class TestSegmentSectorsExact:
+    def test_fully_scattered_warp(self):
+        # 32 accesses, each in its own sector.
+        addrs = np.arange(32) * 128
+        out = segment_sectors_from_addresses(addrs, np.zeros(32, dtype=int), 1)
+        assert out[0] == 32
+
+    def test_fully_coalesced_warp(self):
+        addrs = np.arange(32) * 4
+        out = segment_sectors_from_addresses(addrs, np.zeros(32, dtype=int), 1)
+        assert out[0] == 4

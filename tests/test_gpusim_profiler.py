@@ -1,0 +1,52 @@
+"""Profiler-style reporting."""
+
+import numpy as np
+
+from repro.gpusim.profiler import (
+    achieved_bandwidth_gbps,
+    compare_profiles,
+    format_profile,
+    profile_phases,
+)
+from repro.kernels.gnnone import GnnOneSDDMM, GnnOneSpMM
+
+
+class TestProfiler:
+    def test_phase_profiles(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 32))
+        res = GnnOneSpMM()(small_graph, vals, X)
+        phases = profile_phases(res.trace)
+        assert [p.name for p in phases][0] == "stage1_nze_load"
+        assert all(p.sectors >= 0 for p in phases)
+        total_mb = sum(p.mbytes for p in phases)
+        assert total_mb == res.cost.dram_bytes / 1e6
+
+    def test_format_profile_renders(self, small_graph, rng):
+        X = rng.standard_normal((small_graph.num_rows, 32))
+        res = GnnOneSDDMM()(small_graph, X, X)
+        text = format_profile(res.trace, report=res.cost)
+        assert "gnnone-sddmm" in text
+        assert "occupancy" in text
+        assert "stage2_feature_load" in text
+
+    def test_achieved_bandwidth_below_peak(self, small_graph, rng):
+        from repro.gpusim import A100
+
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 32))
+        res = GnnOneSpMM()(small_graph, vals, X)
+        bw = achieved_bandwidth_gbps(res.cost, A100)
+        assert 0 < bw <= A100.dram_bandwidth_gbps * 1.01
+
+    def test_compare_profiles_sorted(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 32))
+        from repro.kernels.registry import spmm_kernel
+
+        traces = {
+            n: spmm_kernel(n)(small_graph, vals, X).trace
+            for n in ("gnnone", "ge-spmm")
+        }
+        text = compare_profiles(traces)
+        assert text.index("gnnone") < text.index("ge-spmm")  # faster first

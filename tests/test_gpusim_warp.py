@@ -1,0 +1,84 @@
+"""Thread-group shapes: the paper's Section-4.2 worked examples."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpusim import feature_parallel_shape, thread_group_shape, vector_width_for
+
+
+class TestVectorWidth:
+    @pytest.mark.parametrize("F,vw", [(32, 4), (16, 4), (64, 4), (6, 3), (2, 2), (7, 1), (3, 3)])
+    def test_selection(self, F, vw):
+        assert vector_width_for(F) == vw
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            vector_width_for(0)
+
+
+class TestThreadGroupShape:
+    def test_paper_example_f32(self):
+        """F=32: 8-thread groups, 4 groups, 3 reduction rounds (Sec 4.2.1)."""
+        s = thread_group_shape(32)
+        assert s.vector_width == 4
+        assert s.threads_per_group == 8
+        assert s.groups_per_warp == 4
+        assert s.reduction_rounds == 3
+        assert s.idle_lanes == 0
+        assert s.loads_per_thread == 1
+
+    def test_paper_example_f16(self):
+        """F=16: 4-thread groups, 8 groups (Sec 4.2)."""
+        s = thread_group_shape(16)
+        assert s.threads_per_group == 4
+        assert s.groups_per_warp == 8
+
+    def test_odd_feature_length_6_uses_float3(self):
+        s = thread_group_shape(6)
+        assert s.vector_width == 3
+        assert s.threads_per_group == 2
+        assert s.groups_per_warp == 16
+
+    def test_long_rows_loop(self):
+        s = thread_group_shape(256)
+        assert s.threads_per_group == 32
+        assert s.groups_per_warp == 1
+        assert s.loads_per_thread == 2
+        assert s.idle_lanes == 0
+
+    def test_explicit_vector_width(self):
+        s = thread_group_shape(32, vector_width=1)
+        assert s.threads_per_group == 32
+        assert s.groups_per_warp == 1
+        assert s.reduction_rounds == 5
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            thread_group_shape(32, vector_width=8)
+
+    def test_groups_cover_warp(self):
+        for F in (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 100, 128):
+            s = thread_group_shape(F)
+            assert s.groups_per_warp * s.threads_per_group + s.idle_lanes == 32
+            # every feature element is loaded
+            assert s.threads_per_group * s.vector_width * s.loads_per_thread >= F
+
+
+class TestFeatureParallelShape:
+    def test_f32_five_rounds(self):
+        """Vanilla mapping: 1 thread/feature, 5 shuffle rounds (Sec 3.2)."""
+        s = feature_parallel_shape(32)
+        assert s.threads_per_group == 32
+        assert s.reduction_rounds == 5
+        assert s.idle_lanes == 0
+
+    def test_small_f_idles_lanes(self):
+        s = feature_parallel_shape(16)
+        assert s.idle_lanes == 16
+        s6 = feature_parallel_shape(6)
+        assert s6.idle_lanes == 26
+
+    def test_large_f_loops(self):
+        s = feature_parallel_shape(64)
+        assert s.loads_per_thread == 2
+        assert s.idle_lanes == 0

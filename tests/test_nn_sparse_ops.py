@@ -1,0 +1,135 @@
+"""Sparse autograd ops: gradients, backward kernel structure, clocking."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GNNONE_BACKEND, GraphData, SimClock, simulate
+from repro.nn.sparse_ops import edge_softmax, gather_rows, sddmm, spmm, u_add_v
+from repro.nn.tensor import Tensor, gradcheck
+from repro.sparse import generators
+
+
+@pytest.fixture(scope="module")
+def gdata() -> GraphData:
+    return GraphData(generators.power_law(60, 5.0, seed=9), self_loops=True)
+
+
+class TestSpmmOp:
+    def test_forward_matches_reference(self, gdata, rng):
+        ev = Tensor(rng.standard_normal(gdata.num_edges))
+        X = Tensor(rng.standard_normal((gdata.num_vertices, 8)))
+        out = spmm(gdata, ev, X, GNNONE_BACKEND)
+        ref = gdata.coo.to_scipy(ev.data).tocsr() @ X.data
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_grad_dX(self, gdata, rng):
+        ev = Tensor(rng.standard_normal(gdata.num_edges))
+        X = Tensor(rng.standard_normal((gdata.num_vertices, 3)), requires_grad=True)
+        assert gradcheck(lambda x: spmm(gdata, ev, x, GNNONE_BACKEND).sum(), [X])
+
+    def test_grad_edge_values(self, gdata, rng):
+        ev = Tensor(rng.standard_normal(gdata.num_edges), requires_grad=True)
+        X = Tensor(rng.standard_normal((gdata.num_vertices, 3)))
+        assert gradcheck(lambda e: spmm(gdata, e, X, GNNONE_BACKEND).sum(), [ev])
+
+    def test_backward_runs_transpose_spmm_and_sddmm(self, gdata, rng):
+        """The paper's structure: backward(SpMM) = SpMM(A^T) + SDDMM."""
+        clock = SimClock()
+        with simulate(clock):
+            ev = Tensor(rng.standard_normal(gdata.num_edges), requires_grad=True)
+            X = Tensor(rng.standard_normal((gdata.num_vertices, 8)), requires_grad=True)
+            spmm(gdata, ev, X, GNNONE_BACKEND).sum().backward()
+        assert "spmm:forward" in clock.buckets
+        assert "spmm:backward_dX" in clock.buckets
+        assert "sddmm:backward_dW" in clock.buckets
+
+
+class TestSddmmOp:
+    def test_forward(self, gdata, rng):
+        X = Tensor(rng.standard_normal((gdata.num_vertices, 8)))
+        Y = Tensor(rng.standard_normal((gdata.num_vertices, 8)))
+        out = sddmm(gdata, X, Y, GNNONE_BACKEND)
+        ref = np.einsum(
+            "ef,ef->e", X.data[gdata.coo.rows], Y.data[gdata.coo.cols]
+        )
+        np.testing.assert_allclose(out.data, ref)
+
+    def test_grads(self, gdata, rng):
+        X = Tensor(rng.standard_normal((gdata.num_vertices, 2)), requires_grad=True)
+        Y = Tensor(rng.standard_normal((gdata.num_vertices, 2)), requires_grad=True)
+        assert gradcheck(lambda a, b: sddmm(gdata, a, b, GNNONE_BACKEND).sum(), [X, Y])
+
+
+class TestGatherOps:
+    def test_u_add_v_forward(self, gdata, rng):
+        el = Tensor(rng.standard_normal(gdata.num_vertices))
+        er = Tensor(rng.standard_normal(gdata.num_vertices))
+        out = u_add_v(gdata, el, er, GNNONE_BACKEND)
+        np.testing.assert_allclose(
+            out.data, el.data[gdata.coo.rows] + er.data[gdata.coo.cols]
+        )
+
+    def test_u_add_v_grads(self, gdata, rng):
+        el = Tensor(rng.standard_normal(gdata.num_vertices), requires_grad=True)
+        er = Tensor(rng.standard_normal(gdata.num_vertices), requires_grad=True)
+        assert gradcheck(
+            lambda a, b: u_add_v(gdata, a, b, GNNONE_BACKEND).sum(), [el, er]
+        )
+
+    def test_gather_rows_grads(self, rng):
+        x = Tensor(rng.standard_normal((10, 3)), requires_grad=True)
+        idx = np.array([0, 0, 7, 3])
+        assert gradcheck(lambda t: gather_rows(t, idx).sum(), [x])
+
+
+class TestEdgeSoftmax:
+    def test_rows_sum_to_one(self, gdata, rng):
+        scores = Tensor(rng.standard_normal(gdata.num_edges))
+        alpha = edge_softmax(gdata, scores, GNNONE_BACKEND)
+        sums = np.zeros(gdata.num_vertices)
+        np.add.at(sums, gdata.coo.rows, alpha.data)
+        nonempty = np.bincount(gdata.coo.rows, minlength=gdata.num_vertices) > 0
+        np.testing.assert_allclose(sums[nonempty], 1.0)
+
+    def test_numerically_stable(self, gdata):
+        scores = Tensor(np.full(gdata.num_edges, 500.0))
+        alpha = edge_softmax(gdata, scores, GNNONE_BACKEND)
+        assert np.all(np.isfinite(alpha.data))
+
+    def test_grads(self, gdata, rng):
+        scores = Tensor(rng.standard_normal(gdata.num_edges), requires_grad=True)
+        assert gradcheck(
+            lambda s: (edge_softmax(gdata, s, GNNONE_BACKEND) * Tensor(
+                np.arange(gdata.num_edges, dtype=float)
+            )).sum(),
+            [scores],
+        )
+
+
+class TestGraphData:
+    def test_transpose_consistency(self, gdata, rng):
+        """spmm(A^T, ev[perm], g) must equal A^T matmul with original ev."""
+        ev = rng.standard_normal(gdata.num_edges)
+        g = rng.standard_normal((gdata.num_vertices, 4))
+        ref = gdata.coo.to_scipy(ev).tocsr().T @ g
+        perm = gdata.transpose_perm
+        got = gdata.coo_t.to_scipy(ev[perm]).tocsr() @ g
+        np.testing.assert_allclose(got, ref)
+
+    def test_coo_t_is_csr_ordered(self, gdata):
+        assert gdata.coo_t.is_csr_ordered()
+
+    def test_gcn_norm_values(self, gdata):
+        vals = gdata.gcn_edge_values
+        assert vals.shape == (gdata.num_edges,)
+        assert np.all(vals > 0) and np.all(vals <= 1.0)
+
+    def test_self_loops_added(self):
+        g = GraphData(generators.chain(10), self_loops=True)
+        dense = g.coo.to_dense()
+        assert np.all(np.diag(dense) == 1)
+
+    def test_row_boundaries(self, gdata):
+        b = gdata.row_boundaries
+        assert b[0] == 0
+        assert np.all(np.diff(b) > 0)

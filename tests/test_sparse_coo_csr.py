@@ -1,0 +1,103 @@
+"""COO/CSR containers: invariants, conversions, chunk math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+class TestCOOConstruction:
+    def test_from_edges_sorts_csr_order(self):
+        coo = COOMatrix.from_edges(3, 3, [2, 0, 1, 0], [0, 2, 1, 1])
+        assert coo.is_csr_ordered()
+        assert list(coo.rows) == [0, 0, 1, 2]
+        assert list(coo.cols) == [1, 2, 1, 0]
+
+    def test_from_edges_deduplicates(self):
+        coo = COOMatrix.from_edges(2, 2, [0, 0, 0], [1, 1, 0])
+        assert coo.nnz == 2
+
+    def test_from_edges_keep_duplicates(self):
+        coo = COOMatrix.from_edges(2, 2, [0, 0], [1, 1], deduplicate=False)
+        assert coo.nnz == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, np.array([0, 5]), np.array([0, 1]))
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, np.array([0]), np.array([-1]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(FormatError):
+            COOMatrix(2, 2, np.array([0, 1]), np.array([0]))
+
+    def test_empty_matrix(self):
+        coo = COOMatrix(5, 5, np.array([], dtype=np.int32), np.array([], dtype=np.int32))
+        assert coo.nnz == 0
+        assert coo.is_csr_ordered()
+        assert coo.to_csr().nnz == 0
+
+    def test_int32_storage(self):
+        coo = COOMatrix.from_edges(2, 2, [0], [1])
+        assert coo.rows.dtype == np.int32
+        assert coo.memory_bytes() == 8  # 2 x int32
+
+
+class TestCOOQueries:
+    def test_row_degrees(self, tiny_coo):
+        assert list(tiny_coo.row_degrees()) == [2, 1, 3, 1]
+
+    def test_sort_csr_order(self):
+        unsorted = COOMatrix(3, 3, np.array([2, 0]), np.array([1, 1]))
+        assert not unsorted.is_csr_ordered()
+        assert unsorted.sort_csr_order().is_csr_ordered()
+
+    def test_to_dense_roundtrip(self, tiny_coo):
+        dense = tiny_coo.to_dense()
+        assert dense.sum() == tiny_coo.nnz
+        assert dense[0, 1] == 1 and dense[0, 3] == 1
+
+    def test_row_splits_in_chunks(self, tiny_coo):
+        # NZE stream rows: [0,0,1,2,2,2,3]; chunks of 4 -> [0,0,1,2],[2,2,3]
+        segs = tiny_coo.row_splits_in_chunks(4)
+        assert list(segs) == [3, 2]
+
+    def test_row_splits_whole_stream(self, tiny_coo):
+        assert tiny_coo.row_splits_in_chunks(100).sum() == 4  # 4 distinct rows
+
+    def test_row_splits_rejects_bad_chunk(self, tiny_coo):
+        with pytest.raises(FormatError):
+            tiny_coo.row_splits_in_chunks(0)
+
+
+class TestCSR:
+    def test_roundtrip(self, small_graph):
+        csr = small_graph.to_csr()
+        back = csr.to_coo()
+        assert np.array_equal(back.rows, small_graph.rows)
+        assert np.array_equal(back.cols, small_graph.cols)
+
+    def test_expand_rows(self, tiny_coo):
+        csr = tiny_coo.to_csr()
+        assert np.array_equal(csr.expand_rows(), tiny_coo.rows)
+
+    def test_degrees_match(self, small_graph):
+        assert np.array_equal(
+            small_graph.to_csr().row_degrees(), small_graph.row_degrees()
+        )
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, np.array([0, 2]), np.array([0, 1]))  # wrong length
+        with pytest.raises(FormatError):
+            CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0, 1]))  # decreasing
+
+    def test_scipy_equivalence(self, small_graph):
+        ours = small_graph.to_csr().to_scipy().toarray()
+        ref = small_graph.to_scipy().toarray()
+        assert np.array_equal(ours, ref)
+
+    def test_memory_smaller_than_coo_for_dense_rows(self, medium_graph):
+        # CSR stores one offset per row instead of a row id per NZE.
+        assert medium_graph.to_csr().memory_bytes() < medium_graph.memory_bytes() * 0.8
