@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import core
+from repro import core, obs
 from repro.sparse import generators, graph_stats
 
 
@@ -57,6 +57,12 @@ def main() -> None:
     tuned = core.autotune(graph, F, "spmm")
     print(f"autotuned config: cache_size={tuned.config.cache_size}, "
           f"schedule={tuned.config.schedule!r} ({tuned.time_us:.1f} us)")
+
+    # ---- trace a kernel call with the observability layer -----------
+    with obs.capture() as records:
+        core.spmm(graph, edge_values, X)
+    print("\nspan tree of one traced SpMM call:")
+    print(obs.render_tree(records))
 
 
 if __name__ == "__main__":

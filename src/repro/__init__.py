@@ -8,7 +8,8 @@ for GNN Kernels* (HPDC 2024), on a simulated GPU substrate:
 * :mod:`repro.gpusim` — the simulated A100 and its cost model,
 * :mod:`repro.sparse` — formats, generators, Table-1 dataset stand-ins,
 * :mod:`repro.nn` — autograd + GCN/GIN/GAT training stack,
-* :mod:`repro.bench` — one experiment module per paper table/figure.
+* :mod:`repro.bench` — one experiment module per paper table/figure,
+* :mod:`repro.obs` — span tracing, metrics, and run-diff tooling.
 """
 
 from repro.core import sddmm, spmm, spmv

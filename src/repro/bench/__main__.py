@@ -2,17 +2,26 @@
 
 Usage::
 
-    python -m repro.bench               # list experiments
-    python -m repro.bench fig03         # run one (full sweep)
-    python -m repro.bench fig03 --quick # fast subset
-    python -m repro.bench all --quick   # everything, quick mode
+    python -m repro.bench                         # list experiments
+    python -m repro.bench fig03                   # run one (full sweep)
+    python -m repro.bench fig03 --quick           # fast subset
+    python -m repro.bench all --quick             # everything, quick mode
+    python -m repro.bench fig03 --trace t.jsonl   # + JSONL span trace
+    python -m repro.bench fig03 --metrics m.json  # + metrics snapshot
+
+A ``--trace`` run records one span per sweep point (kernel × dataset ×
+feature length) plus the kernel/stage spans beneath it and a final
+``experiment.result`` event with the rendered rows — a replayable
+record that ``python -m repro.obs diff old.jsonl new.jsonl`` compares.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
+from repro import obs
 from repro.bench.harness import experiment_ids, run_experiment
 
 
@@ -27,6 +36,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"experiment id, one of {', '.join(experiment_ids())}, or 'all'",
     )
     parser.add_argument("--quick", action="store_true", help="small dataset subset")
+    parser.add_argument(
+        "--trace", metavar="PATH", help="stream obs spans to a JSONL trace file"
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", help="write a metrics.json snapshot on exit"
+    )
     args = parser.parse_args(argv)
 
     if not args.experiment:
@@ -36,10 +51,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = experiment_ids() if args.experiment == "all" else (args.experiment,)
-    for exp_id in ids:
-        result = run_experiment(exp_id, quick=args.quick)
-        print(result.render())
-        print()
+    with contextlib.ExitStack() as stack:
+        if args.trace:
+            stack.enter_context(obs.trace_to(args.trace))
+        for exp_id in ids:
+            result = run_experiment(exp_id, quick=args.quick)
+            obs.event("experiment.result", experiment=exp_id, **result.to_dict())
+            print(result.render())
+            print()
+    if args.metrics:
+        obs.write_metrics_json(args.metrics)
     return 0
 
 

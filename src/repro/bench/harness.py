@@ -5,19 +5,27 @@ Every table/figure of the paper has one experiment module under
 ingredients — the kernel sweep with paper-scale OOM accounting — and a
 registry so ``run_experiment("fig03")`` (or the CLI:
 ``python -m repro.bench fig03``) regenerates any of them.
+
+Every sweep point emits an :mod:`repro.obs` span (``bench.spmm`` /
+``bench.sddmm``) keyed by kernel × dataset × feature length, carrying
+the simulated time or the OOM/launch-failure outcome — the per-point
+record ``python -m repro.obs diff`` compares across runs.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import BenchmarkError, KernelLaunchError
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.kernels.registry import sddmm_kernel, spmm_kernel
 from repro.nn.memory import USABLE_FRACTION
 from repro.bench.report import ExperimentResult
+from repro.sparse.coo import COOMatrix
 from repro.sparse.datasets import DatasetSpec, get_spec, load_dataset
 
 #: Feature lengths the paper sweeps in Figs 3-4.
@@ -40,8 +48,14 @@ def run_experiment(exp_id: str, *, quick: bool = False) -> ExperimentResult:
     try:
         fn = _REGISTRY[exp_id]
     except KeyError:
-        raise BenchmarkError(f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}")
-    return fn(quick=quick)
+        raise BenchmarkError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    with obs.span("bench.experiment", experiment=exp_id, quick=quick) as sp:
+        result = fn(quick=quick)
+        sp.set(rows=len(result.rows))
+    obs.get_metrics().counter("bench.experiments_run").inc()
+    return result
 
 
 def experiment_ids() -> tuple[str, ...]:
@@ -54,23 +68,48 @@ def kernel_fits(kernel, spec: DatasetSpec, feature_length: int, device: DeviceSp
     return needed <= USABLE_FRACTION * device.memory_bytes
 
 
+@lru_cache(maxsize=8)
+def sweep_operands(
+    dataset_key: str, feature_length: int, seed: int = 0
+) -> tuple[COOMatrix, np.ndarray, np.ndarray, np.ndarray]:
+    """Memoized ``(A, edge_values, X_cols, X_rows)`` for one sweep point.
+
+    A figure sweep revisits the same (dataset, feature-length) point
+    once per kernel; without this cache each visit regenerated the
+    operand arrays (and, before :func:`load_dataset` was memoized,
+    rebuilt the COO) dozens of times per sweep.  Arrays are returned
+    read-only since they are shared across kernel invocations.
+    """
+    A = load_dataset(dataset_key).coo
+    rng = np.random.default_rng(seed)
+    edge_values = rng.standard_normal(A.nnz)
+    X_cols = rng.standard_normal((A.num_cols, feature_length))
+    X_rows = rng.standard_normal((A.num_rows, feature_length))
+    for arr in (edge_values, X_cols, X_rows):
+        arr.setflags(write=False)
+    return A, edge_values, X_cols, X_rows
+
+
 def time_spmm(
     name: str, dataset_key: str, feature_length: int, *, device=None, seed: int = 0
 ) -> float | None:
     """Simulated microseconds, or None for OOM/launch failure."""
     dev = get_device(device)
     spec = get_spec(dataset_key)
-    kernel = spmm_kernel(name)
-    if not kernel_fits(kernel, spec, feature_length, dev):
-        return None
-    A = load_dataset(dataset_key).coo
-    rng = np.random.default_rng(seed)
-    X = rng.standard_normal((A.num_cols, feature_length))
-    vals = rng.standard_normal(A.nnz)
-    try:
-        return kernel(A, vals, X, device=dev).time_us
-    except KernelLaunchError:
-        return None
+    with obs.span("bench.spmm", kind="spmm", kernel=name, dataset=spec.key,
+                  f=feature_length) as sp:
+        kernel = spmm_kernel(name)
+        if not kernel_fits(kernel, spec, feature_length, dev):
+            sp.set(outcome="oom")
+            return None
+        A, vals, X, _ = sweep_operands(spec.key, feature_length, seed)
+        try:
+            time_us = kernel(A, vals, X, device=dev).time_us
+        except KernelLaunchError:
+            sp.set(outcome="launch-error")
+            return None
+        sp.set(outcome="ok").add_sim_us(time_us)
+        return time_us
 
 
 def time_sddmm(
@@ -78,17 +117,20 @@ def time_sddmm(
 ) -> float | None:
     dev = get_device(device)
     spec = get_spec(dataset_key)
-    kernel = sddmm_kernel(name)
-    if not kernel_fits(kernel, spec, feature_length, dev):
-        return None
-    A = load_dataset(dataset_key).coo
-    rng = np.random.default_rng(seed)
-    X = rng.standard_normal((A.num_rows, feature_length))
-    Y = rng.standard_normal((A.num_cols, feature_length))
-    try:
-        return kernel(A, X, Y, device=dev).time_us
-    except KernelLaunchError:
-        return None
+    with obs.span("bench.sddmm", kind="sddmm", kernel=name, dataset=spec.key,
+                  f=feature_length) as sp:
+        kernel = sddmm_kernel(name)
+        if not kernel_fits(kernel, spec, feature_length, dev):
+            sp.set(outcome="oom")
+            return None
+        A, _, Y, X = sweep_operands(spec.key, feature_length, seed)
+        try:
+            time_us = kernel(A, X, Y, device=dev).time_us
+        except KernelLaunchError:
+            sp.set(outcome="launch-error")
+            return None
+        sp.set(outcome="ok").add_sim_us(time_us)
+        return time_us
 
 
 # Import experiment modules for their registration side effects.

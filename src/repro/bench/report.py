@@ -50,6 +50,16 @@ class ExperimentResult:
             f"[{self.experiment_id}] {self.title}", self.columns, self.rows, self.notes
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready record of the whole experiment (trace replay/diff)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
 
 def _fmt(value: Any) -> str:
     if value is None:

@@ -19,7 +19,7 @@ import numpy as np
 from repro.gpusim.cost import CostReport
 from repro.gpusim.device import DeviceSpec
 from repro.kernels.base import KernelResult
-from repro.kernels.gnnone import GnnOneConfig, GnnOneSDDMM, GnnOneSpMM, GnnOneSpMV
+from repro.kernels.gnnone import GnnOneConfig, GnnOneSDDMM, GnnOneSpMM
 from repro.kernels.registry import sddmm_kernel, spmm_kernel, spmv_kernel
 from repro.sparse.coo import COOMatrix
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.warp import ThreadGroupShape
 from repro.kernels.gnnone.config import DEFAULT_CONFIG, GnnOneConfig
 from repro.kernels.gnnone.scheduler import SchedulePlan, plan_schedule
@@ -81,14 +82,18 @@ def plan_unified_load(
     with_edge_values: bool = False,
 ) -> UnifiedLoadPlan:
     """Plan the two-stage data load for ``A`` at ``feature_length``."""
-    coo = A if A.is_csr_ordered() else A.sort_csr_order()
-    s1 = plan_stage1(
-        coo.nnz,
-        config.cache_size,
-        with_edge_values=with_edge_values,
-        enable_cache=config.enable_nze_cache,
-    )
-    sched = plan_schedule(
-        coo.rows, s1.chunks.chunk_of_nze, s1.chunks.n_chunks, config, feature_length
-    )
-    return UnifiedLoadPlan(config, feature_length, s1, sched)
+    with obs.span("engine.plan", f=feature_length, nnz=A.nnz,
+                  cache_size=config.cache_size) as sp:
+        coo = A if A.is_csr_ordered() else A.sort_csr_order()
+        s1 = plan_stage1(
+            coo.nnz,
+            config.cache_size,
+            with_edge_values=with_edge_values,
+            enable_cache=config.enable_nze_cache,
+        )
+        sched = plan_schedule(
+            coo.rows, s1.chunks.chunk_of_nze, s1.chunks.n_chunks, config, feature_length
+        )
+        plan = UnifiedLoadPlan(config, feature_length, s1, sched)
+        sp.set(**plan.summary())
+    return plan

@@ -21,7 +21,7 @@ per-warp work assignments, not by these constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 

@@ -24,11 +24,32 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import FormatError, UnsupportedFormatError
 from repro.gpusim.cost import CostReport, estimate_cost
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.trace import KernelTrace
 from repro.sparse.coo import COOMatrix
+
+
+def cost_span_attrs(cost: CostReport) -> dict[str, float | int | str]:
+    """The CostReport fields every kernel span carries."""
+    return {
+        "time_us": cost.time_us,
+        "dram_bytes": cost.dram_bytes,
+        "occupancy_warps_per_sm": cost.occupancy.active_warps_per_sm,
+        "occupancy_limiter": cost.occupancy.limiter,
+        "sm_imbalance": cost.sm_imbalance,
+    }
+
+
+def _finish_kernel_span(sp, kind: str, result: "KernelResult") -> None:
+    sp.set(**cost_span_attrs(result.cost))
+    sp.add_sim_us(result.cost.time_us)
+    metrics = obs.get_metrics()
+    metrics.counter(f"kernel.{kind}.calls").inc()
+    metrics.histogram(f"kernel.{kind}.time_us").observe(result.cost.time_us)
+    metrics.histogram(f"kernel.{kind}.dram_mb").observe(result.cost.dram_bytes / 1e6)
 
 
 @dataclass
@@ -89,10 +110,16 @@ class SpMMKernel(abc.ABC):
     ) -> KernelResult:
         validate_spmm_inputs(A, edge_values, X)
         dev = get_device(device)
-        out, trace, prep = self.execute(A, np.asarray(edge_values, dtype=np.float64),
-                                        np.asarray(X, dtype=np.float64), dev)
-        cost = estimate_cost(trace, dev)
-        return KernelResult(out, cost, trace, prep)
+        with obs.span(
+            "kernel.spmm", kind="spmm", kernel=self.name, format=self.format,
+            rows=A.num_rows, nnz=A.nnz, f=int(np.asarray(X).shape[1]),
+        ) as sp:
+            out, trace, prep = self.execute(A, np.asarray(edge_values, dtype=np.float64),
+                                            np.asarray(X, dtype=np.float64), dev)
+            cost = estimate_cost(trace, dev)
+            result = KernelResult(out, cost, trace, prep)
+            _finish_kernel_span(sp, "spmm", result)
+        return result
 
     @abc.abstractmethod
     def execute(
@@ -122,11 +149,17 @@ class SDDMMKernel(abc.ABC):
     ) -> KernelResult:
         validate_sddmm_inputs(A, X, Y)
         dev = get_device(device)
-        out, trace, prep = self.execute(
-            A, np.asarray(X, dtype=np.float64), np.asarray(Y, dtype=np.float64), dev
-        )
-        cost = estimate_cost(trace, dev)
-        return KernelResult(out, cost, trace, prep)
+        with obs.span(
+            "kernel.sddmm", kind="sddmm", kernel=self.name, format=self.format,
+            rows=A.num_rows, nnz=A.nnz, f=int(np.asarray(X).shape[1]),
+        ) as sp:
+            out, trace, prep = self.execute(
+                A, np.asarray(X, dtype=np.float64), np.asarray(Y, dtype=np.float64), dev
+            )
+            cost = estimate_cost(trace, dev)
+            result = KernelResult(out, cost, trace, prep)
+            _finish_kernel_span(sp, "sddmm", result)
+        return result
 
     @abc.abstractmethod
     def execute(
@@ -156,11 +189,17 @@ class SpMVKernel(abc.ABC):
     ) -> KernelResult:
         validate_spmv_inputs(A, edge_values, x)
         dev = get_device(device)
-        out, trace, prep = self.execute(
-            A, np.asarray(edge_values, dtype=np.float64), np.asarray(x, dtype=np.float64), dev
-        )
-        cost = estimate_cost(trace, dev)
-        return KernelResult(out, cost, trace, prep)
+        with obs.span(
+            "kernel.spmv", kind="spmv", kernel=self.name, format=self.format,
+            rows=A.num_rows, nnz=A.nnz, f=1,
+        ) as sp:
+            out, trace, prep = self.execute(
+                A, np.asarray(edge_values, dtype=np.float64), np.asarray(x, dtype=np.float64), dev
+            )
+            cost = estimate_cost(trace, dev)
+            result = KernelResult(out, cost, trace, prep)
+            _finish_kernel_span(sp, "spmv", result)
+        return result
 
     @abc.abstractmethod
     def execute(

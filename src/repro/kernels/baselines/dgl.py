@@ -18,13 +18,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.memory import feature_row_sectors, streaming_sectors
+from repro.gpusim.memory import feature_row_sectors
 from repro.gpusim.trace import KernelTrace, LaunchConfig
 from repro.gpusim.warp import feature_parallel_shape
 from repro.kernels.base import SDDMMKernel, SpMMKernel, reference_sddmm
 from repro.kernels.baselines.cusparse import CuSparseSpMM
 from repro.sparse.coo import COOMatrix
-from repro.sparse.partition import edge_chunks
 
 
 class DGLSDDMM(SDDMMKernel):

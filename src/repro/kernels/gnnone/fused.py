@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.gpusim.atomics import conflict_degree
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.memory import feature_row_sectors, streaming_sectors, unique_per_warp
+from repro.gpusim.memory import feature_row_sectors, unique_per_warp
 from repro.gpusim.trace import KernelTrace, LaunchConfig
 from repro.kernels.base import KernelResult
 from repro.gpusim.cost import estimate_cost

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import KernelTrace, LaunchConfig
 from repro.kernels.base import SDDMMKernel
@@ -50,10 +51,16 @@ class GnnOneSDDMM(SDDMMKernel):
         F = X.shape[1]
         coo = A if A.is_csr_ordered() else A.sort_csr_order()
 
-        s1 = plan_stage1(
-            coo.nnz, cfg.cache_size, with_edge_values=False, enable_cache=cfg.enable_nze_cache
-        )
-        sched = plan_schedule(coo.rows, s1.chunks.chunk_of_nze, s1.chunks.n_chunks, cfg, F)
+        with obs.span("gnnone.stage1", kind="sddmm", nnz=coo.nnz,
+                      cache_size=cfg.cache_size) as sp:
+            s1 = plan_stage1(
+                coo.nnz, cfg.cache_size, with_edge_values=False, enable_cache=cfg.enable_nze_cache
+            )
+            sp.set(n_chunks=s1.chunks.n_chunks, smem_bytes_per_warp=s1.smem_bytes_per_warp)
+        with obs.span("gnnone.schedule", kind="sddmm", schedule=cfg.schedule, f=F) as sp:
+            sched = plan_schedule(coo.rows, s1.chunks.chunk_of_nze, s1.chunks.n_chunks, cfg, F)
+            sp.set(vector_width=sched.shape.vector_width,
+                   threads_per_group=sched.shape.threads_per_group)
 
         grid = max(1, (s1.chunks.n_chunks + cfg.warps_per_cta - 1) // cfg.warps_per_cta)
         launch = LaunchConfig(
@@ -63,11 +70,12 @@ class GnnOneSDDMM(SDDMMKernel):
             shared_mem_per_cta=s1.smem_bytes_per_warp * cfg.warps_per_cta,
         )
         trace = KernelTrace(self.name, launch)
-        record_stage1(trace, s1, device)
-        record_stage2_sddmm(
-            trace, s1, sched, F, device, row_reuse=cfg.enable_row_reuse
-        )
-        record_reduction_sddmm(trace, s1, sched, device)
+        with obs.span("gnnone.stage2", kind="sddmm", f=F, grid_ctas=grid):
+            record_stage1(trace, s1, device)
+            record_stage2_sddmm(
+                trace, s1, sched, F, device, row_reuse=cfg.enable_row_reuse
+            )
+            record_reduction_sddmm(trace, s1, sched, device)
 
         # Numerics follow the caller's edge order (the trace used the
         # CSR-ordered view, which is cost-equivalent).

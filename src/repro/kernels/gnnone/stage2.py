@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gpusim.device import DeviceSpec
-from repro.gpusim.memory import feature_row_sectors, per_warp_counts
+from repro.gpusim.memory import feature_row_sectors
 from repro.gpusim.trace import KernelTrace
 from repro.kernels.gnnone.scheduler import SchedulePlan
 from repro.kernels.gnnone.stage1 import Stage1Plan

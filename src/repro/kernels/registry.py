@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro import obs
 from repro.errors import BenchmarkError
 from repro.kernels.base import SDDMMKernel, SpMMKernel, SpMVKernel
 from repro.kernels.baselines import (
@@ -66,9 +67,14 @@ _SPMV_FACTORIES: dict[str, Callable[[], SpMVKernel]] = {
 
 def _lookup(table: dict, kind: str, name: str):
     try:
-        return table[name]()
+        factory = table[name]
     except KeyError:
-        raise BenchmarkError(f"unknown {kind} kernel {name!r}; known: {sorted(table)}")
+        raise BenchmarkError(
+            f"unknown {kind} kernel {name!r}; known: {sorted(table)}"
+        ) from None
+    obs.event("kernel.dispatch", kind=kind, kernel=name)
+    obs.get_metrics().counter(f"registry.{kind}.dispatch").inc()
+    return factory()
 
 
 def spmm_kernel(name: str) -> SpMMKernel:

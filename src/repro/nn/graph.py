@@ -12,7 +12,7 @@ from functools import cached_property
 
 import numpy as np
 
-from repro.sparse.convert import add_self_loops, transpose_coo
+from repro.sparse.convert import add_self_loops
 from repro.sparse.coo import COOMatrix
 
 

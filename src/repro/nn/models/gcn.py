@@ -8,7 +8,6 @@ sequence the paper's Fig-7 GCN experiment times.  The paper's config:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.backend import TrainingBackend, get_backend

@@ -6,8 +6,9 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.nn import functional as F
-from repro.nn.clock import charge_elementwise, charge_gemm
+from repro.nn.clock import charge_elementwise, charge_gemm, current_clock
 from repro.nn.tensor import Tensor
 from repro.utils.rng import default_rng
 
@@ -66,7 +67,17 @@ class Module:
         return sum(p.data.size for p in self.parameters())
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        if not obs.tracing_enabled():
+            return self.forward(*args, **kwargs)
+        # Per-layer span: simulated time is the SimClock delta the
+        # forward charges while this module runs (children included).
+        clock = current_clock()
+        before = clock.total_us if clock is not None else 0.0
+        with obs.span(f"nn.{type(self).__name__}") as sp:
+            out = self.forward(*args, **kwargs)
+            if clock is not None:
+                sp.add_sim_us(clock.total_us - before)
+        return out
 
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
         raise NotImplementedError

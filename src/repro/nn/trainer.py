@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.nn import functional as F
 from repro.nn.clock import SimClock, simulate
@@ -74,16 +75,23 @@ class Trainer:
     def train_epoch(self, epoch: int) -> EpochRecord:
         self.model.train()
         self.clock.reset()
-        with simulate(self.clock):
-            x = Tensor(self.data.features)
-            logits = self.model(self.graph, x)
-            log_probs = F.log_softmax(logits)
-            loss = F.nll_loss(log_probs, self.data.labels, self.data.train_mask)
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-        train_acc = F.accuracy(logits.data, self.data.labels, self.data.train_mask)
-        val_acc = self.evaluate("val")
+        with obs.span("train.epoch", epoch=epoch, model=type(self.model).__name__) as sp:
+            with simulate(self.clock):
+                x = Tensor(self.data.features)
+                logits = self.model(self.graph, x)
+                log_probs = F.log_softmax(logits)
+                loss = F.nll_loss(log_probs, self.data.labels, self.data.train_mask)
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+            train_acc = F.accuracy(logits.data, self.data.labels, self.data.train_mask)
+            val_acc = self.evaluate("val")
+            # Fold the epoch's SimClock buckets into the span so traces
+            # carry the same breakdown TrainResult.buckets reports.
+            sp.add_sim_us(self.clock.total_us)
+            sp.set(loss=float(loss.data), train_acc=train_acc, val_acc=val_acc,
+                   buckets=dict(self.clock.buckets))
+        obs.get_metrics().histogram("train.epoch_sim_us").observe(self.clock.total_us)
         return EpochRecord(
             epoch=epoch,
             loss=float(loss.data),
@@ -102,12 +110,17 @@ class Trainer:
 
     def fit(self, epochs: int) -> TrainResult:
         result = TrainResult()
-        for epoch in range(epochs):
-            result.history.append(self.train_epoch(epoch))
-        result.test_acc = self.evaluate("test")
-        if result.history:
-            # Steady-state epoch time (first epoch may include one-time
-            # format preprocessing in the baselines).
-            result.epoch_sim_us = float(np.median([r.sim_us for r in result.history]))
-        result.buckets = dict(self.clock.buckets)
+        backend = getattr(getattr(self.model, "backend", None), "name", None)
+        with obs.span("train.fit", model=type(self.model).__name__,
+                      backend=backend, epochs=epochs, device=self.device.name) as sp:
+            for epoch in range(epochs):
+                result.history.append(self.train_epoch(epoch))
+            result.test_acc = self.evaluate("test")
+            if result.history:
+                # Steady-state epoch time (first epoch may include one-time
+                # format preprocessing in the baselines).
+                result.epoch_sim_us = float(np.median([r.sim_us for r in result.history]))
+            result.buckets = dict(self.clock.buckets)
+            sp.add_sim_us(result.epoch_sim_us * epochs)
+            sp.set(test_acc=result.test_acc, epoch_sim_us=result.epoch_sim_us)
         return result

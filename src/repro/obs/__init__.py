@@ -1,0 +1,93 @@
+"""Unified observability: span tracing, metrics, exporters, run diffing.
+
+The paper's whole argument is quantitative — which phase of which
+kernel moved how many bytes in how many simulated microseconds — and
+every subsystem here produces those numbers.  ``repro.obs`` is the one
+place they flow through:
+
+* :func:`span` — nestable contextvar-scoped tracer; kernels, the
+  GNNOne stage pipeline, the trainer and the benchmark harness all emit
+  spans carrying wall time, simulated time, and CostReport fields.
+* :func:`get_metrics` — process-global counters / gauges / histograms.
+* :func:`trace_to` / :func:`capture` / :func:`render_tree` /
+  :func:`write_metrics_json` — JSONL stream, in-memory, console tree,
+  and flat snapshot exporters.
+* ``python -m repro.obs`` — summarize a trace, or diff two runs and
+  flag per-kernel simulated-time regressions.
+
+Tracing is off (and free) until a sink is installed::
+
+    from repro import obs
+    with obs.trace_to("run.jsonl"):
+        core.spmm(A, w, X)                      # spans stream to the file
+    records = obs.read_trace("run.jsonl")
+    print(obs.render_tree(records))
+"""
+
+from repro.obs.analysis import (
+    DiffRow,
+    KeySummary,
+    RunDiff,
+    diff_runs,
+    format_diff,
+    format_summary,
+    span_key,
+    summarize,
+)
+from repro.obs.export import (
+    JsonlWriter,
+    read_trace,
+    render_tree,
+    trace_to,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    add_sink,
+    capture,
+    current_span,
+    event,
+    remove_sink,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DiffRow",
+    "KeySummary",
+    "RunDiff",
+    "diff_runs",
+    "format_diff",
+    "format_summary",
+    "span_key",
+    "summarize",
+    "JsonlWriter",
+    "read_trace",
+    "render_tree",
+    "trace_to",
+    "write_metrics_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "NULL_SPAN",
+    "Span",
+    "add_sink",
+    "capture",
+    "current_span",
+    "event",
+    "remove_sink",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,71 @@
+"""CLI: inspect and compare JSONL trace files.
+
+Usage::
+
+    python -m repro.obs summary t.jsonl          # per-identity aggregate
+    python -m repro.obs tree t.jsonl             # indented span tree
+    python -m repro.obs diff old.jsonl new.jsonl # per-kernel regressions
+
+``diff`` exits non-zero only with ``--fail-on-regress``, so CI can gate
+on it while interactive use stays informational.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.analysis import diff_runs, format_diff, format_summary, summarize
+from repro.obs.export import read_trace, render_tree
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize and diff repro trace files (JSONL spans).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="aggregate spans per identity")
+    p_summary.add_argument("trace", help="JSONL trace file")
+
+    p_tree = sub.add_parser("tree", help="render the span tree")
+    p_tree.add_argument("trace", help="JSONL trace file")
+    p_tree.add_argument("--max-depth", type=int, default=None)
+
+    p_diff = sub.add_parser("diff", help="compare two runs per span identity")
+    p_diff.add_argument("trace_a", help="baseline JSONL trace")
+    p_diff.add_argument("trace_b", help="candidate JSONL trace")
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="fractional simulated-time slowdown that counts as a regression",
+    )
+    p_diff.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit 1 if any regression is found (for CI gates)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.command == "summary":
+            print(format_summary(summarize(read_trace(args.trace))))
+            return 0
+        if args.command == "tree":
+            print(render_tree(read_trace(args.trace), max_depth=args.max_depth))
+            return 0
+        # diff
+        diff = diff_runs(
+            read_trace(args.trace_a), read_trace(args.trace_b), threshold=args.threshold
+        )
+    except (OSError, ValueError) as e:
+        print(f"python -m repro.obs: error: {e}", file=sys.stderr)
+        return 1
+    print(format_diff(diff))
+    return 1 if (args.fail_on_regress and diff.regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
 

@@ -19,11 +19,17 @@ class Timer:
     _start: float | None = field(default=None, repr=False)
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "Timer is not re-entrant: already started; exit the running "
+                "interval (or call reset()) before entering again"
+            )
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        assert self._start is not None
+        if self._start is None:
+            raise RuntimeError("Timer.__exit__ without a matching __enter__")
         self.elapsed += time.perf_counter() - self._start
         self._start = None
 

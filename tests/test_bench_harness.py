@@ -28,6 +28,22 @@ class TestRegistry:
         with pytest.raises(BenchmarkError):
             run_experiment("fig99")
 
+    def test_unknown_experiment_hides_internal_traceback(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            run_experiment("fig99")
+        # raised `from None`: the internal KeyError must not leak into
+        # the CLI traceback chain.
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
+
+    def test_unknown_kernel_hides_internal_traceback(self):
+        from repro.kernels.registry import spmm_kernel
+
+        with pytest.raises(BenchmarkError) as excinfo:
+            spmm_kernel("nope")
+        assert excinfo.value.__cause__ is None
+        assert excinfo.value.__suppress_context__
+
 
 class TestTimingHelpers:
     def test_time_spmm_returns_float(self):
@@ -44,6 +60,26 @@ class TestTimingHelpers:
 
     def test_sputnik_launch_error_returns_none(self):
         assert time_sddmm("sputnik", "G13", 16) is None
+
+    def test_sweep_operands_memoized_across_kernels(self):
+        from repro.bench.harness import sweep_operands
+
+        a1 = sweep_operands("G3", 16)
+        a2 = sweep_operands("G3", 16)
+        assert all(x is y for x, y in zip(a1, a2))  # same cached objects
+        assert sweep_operands("G3", 32)[2].shape[1] == 32
+
+    def test_sweep_operands_read_only(self):
+        from repro.bench.harness import sweep_operands
+
+        _, vals, X_cols, X_rows = sweep_operands("G3", 16)
+        for arr in (vals, X_cols, X_rows):
+            with pytest.raises(ValueError):
+                arr[0] = 0.0
+
+    def test_timing_helpers_consistent_with_cache(self):
+        # Two calls for the same point must report identical simulated time.
+        assert time_spmm("gnnone", "G3", 16) == time_spmm("gnnone", "G3", 16)
 
 
 class TestSpeedupCells:

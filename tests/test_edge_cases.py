@@ -6,7 +6,7 @@ import pytest
 from repro import core
 from repro.errors import FormatError
 from repro.kernels.gnnone import GnnOneSDDMM, GnnOneSpMM
-from repro.nn import GCN, GraphData, Tensor, Trainer
+from repro.nn import GCN, GraphData, Trainer
 from repro.nn.data import NodeClassificationData
 from repro.sparse import COOMatrix, generators
 

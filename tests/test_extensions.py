@@ -10,9 +10,9 @@ from repro.kernels.gnnone.fused import (
     fused_gat_attention_numerics,
     unfused_gat_pipeline_time_us,
 )
-from repro.nn import GraphData, Tensor, Trainer, synthesize
+from repro.nn import GraphData, Trainer, synthesize
 from repro.nn.models.sage import GraphSAGE, mean_edge_values
-from repro.sparse import COOMatrix, generators
+from repro.sparse import generators
 from repro.sparse import io as gio
 
 

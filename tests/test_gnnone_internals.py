@@ -1,7 +1,6 @@
 """GNNOne internals: stage-1 planning, scheduler plans, reduction math."""
 
 import numpy as np
-import pytest
 
 from repro.gpusim import A100
 from repro.gpusim.trace import KernelTrace, LaunchConfig

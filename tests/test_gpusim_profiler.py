@@ -1,7 +1,5 @@
 """Profiler-style reporting."""
 
-import numpy as np
-
 from repro.gpusim.profiler import (
     achieved_bandwidth_gbps,
     compare_profiles,
@@ -39,6 +37,26 @@ class TestProfiler:
         bw = achieved_bandwidth_gbps(res.cost, A100)
         assert 0 < bw <= A100.dram_bandwidth_gbps * 1.01
 
+    def test_format_profile_output_shape(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 32))
+        res = GnnOneSpMM()(small_graph, vals, X)
+        lines = format_profile(res.trace, report=res.cost).splitlines()
+        # header block: kernel, grid, occupancy, time/DRAM/imbalance
+        assert lines[0].startswith("kernel ")
+        assert "grid" in lines[1] and "regs/thread" in lines[1]
+        assert "limited by" in lines[2]
+        assert "simulated time" in lines[3] and "SM imbalance" in lines[3]
+        # phase table: one row per trace phase under the column header
+        header_idx = next(i for i, line in enumerate(lines) if "phase" in line)
+        for col in ("kind", "ld instr", "ilp", "MB", "Mflop", "barr"):
+            assert col in lines[header_idx]
+        phase_rows = [
+            line for line in lines[header_idx + 1:] if line.strip() and "busy cycles" not in line
+        ]
+        assert len(phase_rows) == len(res.trace.phases)
+        assert any("busy cycles by phase kind" in line for line in lines)
+
     def test_compare_profiles_sorted(self, small_graph, rng):
         vals = rng.standard_normal(small_graph.nnz)
         X = rng.standard_normal((small_graph.num_cols, 32))
@@ -50,3 +68,20 @@ class TestProfiler:
         }
         text = compare_profiles(traces)
         assert text.index("gnnone") < text.index("ge-spmm")  # faster first
+
+    def test_compare_profiles_output_shape(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 16))
+        from repro.kernels.registry import spmm_kernel
+
+        names = ("gnnone", "ge-spmm", "dgl")
+        traces = {n: spmm_kernel(n)(small_graph, vals, X).trace for n in names}
+        lines = compare_profiles(traces).splitlines()
+        for col in ("kernel", "time us", "DRAM MB", "ld instr", "barriers", "warps/SM", "imbal"):
+            assert col in lines[0]
+        assert len(lines) == 1 + len(names)  # header + one row per kernel
+        times = []
+        for line in lines[1:]:
+            fields = line.split()
+            times.append(float(fields[-6].replace(",", "")))
+        assert times == sorted(times)  # ascending simulated time

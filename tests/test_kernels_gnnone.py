@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, FormatError
-from repro.gpusim import A100
 from repro.kernels.base import reference_sddmm, reference_spmm, reference_spmv
 from repro.kernels.gnnone import (
     CONSECUTIVE,

@@ -86,6 +86,29 @@ class TestTimer:
         t.reset()
         assert t.elapsed == 0.0
 
+    def test_reentrant_enter_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="not re-entrant"):
+            with t:
+                with t:
+                    pass
+
+    def test_exit_without_enter_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError, match="without a matching"):
+            t.__exit__(None, None, None)
+
+    def test_usable_after_reentrancy_error(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                with t:
+                    pass
+        t.reset()
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+
 
 class TestErrorHierarchy:
     def test_all_subclass_repro_error(self):
