@@ -13,6 +13,21 @@ import os
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _cold_plan_cache():
+    """Benchmarks start from a cold structural plan cache.
+
+    Within the session the cache stays warm on purpose: figure sweeps
+    revisit the same launch structures and should benefit, exactly as
+    a paper-regeneration run would.
+    """
+    from repro.core import clear_plan_cache, clear_tune_cache
+
+    clear_plan_cache()
+    clear_tune_cache()
+    yield
+
+
 @pytest.fixture(scope="session")
 def quick_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") != "1"

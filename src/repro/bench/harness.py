@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.core import plancache
 from repro.errors import BenchmarkError, KernelLaunchError
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.kernels.registry import sddmm_kernel, spmm_kernel
@@ -51,9 +52,14 @@ def run_experiment(exp_id: str, *, quick: bool = False) -> ExperimentResult:
         raise BenchmarkError(
             f"unknown experiment {exp_id!r}; known: {sorted(_REGISTRY)}"
         ) from None
+    cache = plancache.get_plan_cache()
+    hits0, misses0 = cache.hits, cache.misses
     with obs.span("bench.experiment", experiment=exp_id, quick=quick) as sp:
         result = fn(quick=quick)
-        sp.set(rows=len(result.rows))
+        # A figure sweep revisits each launch structure once per kernel
+        # config; the hit share tells how much simulation was replayed.
+        hits, misses = cache.hits - hits0, cache.misses - misses0
+        sp.set(rows=len(result.rows), plancache_hits=hits, plancache_misses=misses)
     obs.get_metrics().counter("bench.experiments_run").inc()
     return result
 

@@ -1,8 +1,15 @@
 """GNNOne public API: unified sparse kernels with backend dispatch."""
 
 from repro.core.api import run_sddmm, run_spmm, run_spmv, sddmm, spmm, spmv
-from repro.core.autotune import TuneResult, autotune
+from repro.core.autotune import TuneResult, autotune, clear_tune_cache
 from repro.core.engine import UnifiedLoadPlan, plan_unified_load
+from repro.core.plancache import (
+    PlanCache,
+    clear_plan_cache,
+    get_plan_cache,
+    plan_cache_enabled,
+    set_plan_cache_enabled,
+)
 
 __all__ = [
     "sddmm",
@@ -13,6 +20,12 @@ __all__ = [
     "run_spmv",
     "TuneResult",
     "autotune",
+    "clear_tune_cache",
     "UnifiedLoadPlan",
     "plan_unified_load",
+    "PlanCache",
+    "clear_plan_cache",
+    "get_plan_cache",
+    "plan_cache_enabled",
+    "set_plan_cache_enabled",
 ]

@@ -7,6 +7,14 @@ model is analytic, and returns the best config per (graph, feature
 length, kernel kind).  Used by the GNN trainer so every layer's sparse
 op runs its best configuration, and by tests to verify the paper's
 choice (128, Consecutive) is in fact optimal on the default device.
+
+Tuning is structure-dominated like the cost model itself: the trial
+times depend on the topology, not the operand values, so one operand
+draw is shared by every trial config and the whole :class:`TuneResult`
+is memoized per ``(structure_token, kind, feature_length, device)``
+(plus the searched space).  Trials additionally share the structural
+plan cache (:mod:`repro.core.plancache`), so a trial config that some
+earlier kernel call already simulated costs a dictionary lookup.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+from repro.core import plancache
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.kernels.gnnone import (
     CONSECUTIVE,
@@ -27,6 +37,14 @@ from repro.sparse.coo import COOMatrix
 from repro.utils.validation import check_in
 
 DEFAULT_CACHE_SIZES = (32, 64, 128, 256)
+
+#: (structure_token, kind, F, device, cache_sizes, schedules) -> TuneResult
+_TUNE_CACHE: dict[tuple, "TuneResult"] = {}
+
+
+def clear_tune_cache() -> None:
+    """Drop memoized :class:`TuneResult` objects (tests, debugging)."""
+    _TUNE_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -46,20 +64,48 @@ def autotune(
     schedules: tuple[str, ...] = (CONSECUTIVE, ROUND_ROBIN),
     device: DeviceSpec | str | None = None,
     seed: int = 0,
+    operands: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> TuneResult:
-    """Pick the fastest GNNOne config for ``A`` at ``feature_length``."""
+    """Pick the fastest GNNOne config for ``A`` at ``feature_length``.
+
+    ``operands`` optionally supplies a pre-generated operand pair —
+    ``(edge_values, X)`` for spmm, ``(X_rows, Y_cols)`` for sddmm — so
+    callers that already hold training tensors skip the rng draw; when
+    omitted, one draw from ``seed`` is shared across all trial configs.
+    The result is memoized per structure token: the trial times are
+    value-independent, so neither ``seed`` nor ``operands`` participates
+    in the memo key.
+    """
     check_in(kind, "kind", ("spmm", "sddmm"))
     dev = get_device(device)
+    memo_key = (
+        A.structure_token, kind, int(feature_length), dev, tuple(cache_sizes),
+        tuple(schedules),
+    )
+    caching = plancache.plan_cache_enabled()
+    if caching and memo_key in _TUNE_CACHE:
+        obs.get_metrics().counter("plancache.tune.hit").inc()
+        return _TUNE_CACHE[memo_key]
+    if caching:
+        obs.get_metrics().counter("plancache.tune.miss").inc()
+
     rng = np.random.default_rng(seed)
-    X = rng.standard_normal((A.num_cols, feature_length))
     if kind == "spmm":
-        vals = rng.standard_normal(A.nnz)
+        if operands is not None:
+            vals, X = operands
+        else:
+            X = rng.standard_normal((A.num_cols, feature_length))
+            vals = rng.standard_normal(A.nnz)
 
         def run(cfg: GnnOneConfig) -> float:
             return GnnOneSpMM(cfg)(A, vals, X, device=dev).time_us
 
     else:
-        Xr = rng.standard_normal((A.num_rows, feature_length))
+        if operands is not None:
+            Xr, X = operands
+        else:
+            X = rng.standard_normal((A.num_cols, feature_length))
+            Xr = rng.standard_normal((A.num_rows, feature_length))
 
         def run(cfg: GnnOneConfig) -> float:
             return GnnOneSDDMM(cfg)(A, Xr, X, device=dev).time_us
@@ -74,4 +120,7 @@ def autotune(
             if best is None or t < best[0]:
                 best = (t, cfg)
     assert best is not None
-    return TuneResult(config=best[1], time_us=best[0], trials=trials)
+    result = TuneResult(config=best[1], time_us=best[0], trials=trials)
+    if caching:
+        _TUNE_CACHE[memo_key] = result
+    return result

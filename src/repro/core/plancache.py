@@ -1,0 +1,160 @@
+"""Structural plan/cost cache: stop re-simulating identical launches.
+
+The cost model's output is *value-independent*: a :class:`CostReport`
+depends only on the graph topology (which NZE goes to which warp), the
+kernel and its configuration, the feature length, and the device —
+never on the numeric contents of ``edge_values`` or ``X``.  Every term
+the model prices (sectors, load instructions, ILP, occupancy, atomics,
+imbalance) is derived from index arrays and launch shapes.  Training
+loops therefore repeat a handful of distinct *launch structures*
+thousands of times: a 200-epoch GCN run issues the same forward SpMM,
+backward SpMM and backward SDDMM on the same topology every epoch.
+
+This module memoizes the simulation side of a kernel call — the
+recorded :class:`~repro.gpusim.trace.KernelTrace`, the priced
+:class:`~repro.gpusim.cost.CostReport`, and the preprocessing wall time
+— keyed on a collision-safe structural fingerprint:
+
+    (COOMatrix.structure_token, kernel cache token, kind,
+     feature_length, DeviceSpec)
+
+``structure_token`` hashes the topology bytes (see
+:meth:`repro.sparse.coo.COOMatrix.structure_token`); the kernel token
+carries the full configuration (not just the display name); the frozen
+``DeviceSpec`` participates directly so two devices sharing a name but
+differing in any architectural constant can never collide.
+
+A hit replays the cached cost/trace while the caller recomputes fresh
+numerics (see :mod:`repro.kernels.base`), so outputs always track the
+actual input values.  Kernel-launch failures are not cached — an
+invalid configuration re-raises from the real pipeline every time.
+
+Disable with ``REPRO_PLAN_CACHE=0`` (debugging the simulation pipeline)
+or programmatically via :func:`set_plan_cache_enabled`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.gpusim.cost import CostReport
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.trace import KernelTrace
+from repro.obs import get_metrics
+
+#: Entries kept per process.  Each entry holds one trace + cost report
+#: (a few arrays of per-warp counters); benchmarks sweep at most a few
+#: hundred distinct (kernel, dataset, F) points.
+DEFAULT_CAPACITY = 512
+
+_ENV_SWITCH = "REPRO_PLAN_CACHE"
+
+#: tri-state programmatic override: None = follow the env switch.
+_enabled_override: bool | None = None
+
+
+def plan_cache_enabled() -> bool:
+    """Is structural memoization active for this process?"""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(_ENV_SWITCH, "1").lower() not in ("0", "false", "off")
+
+
+def set_plan_cache_enabled(enabled: bool | None) -> None:
+    """Force the cache on/off; ``None`` restores the env-switch default."""
+    global _enabled_override
+    _enabled_override = enabled
+
+
+@dataclass(frozen=True)
+class CachedLaunch:
+    """The structural half of a kernel invocation, ready to replay."""
+
+    cost: CostReport
+    trace: KernelTrace
+    preprocess_seconds: float = 0.0
+
+
+#: (structure_token, kernel token, kind, feature_length, device)
+PlanKey = tuple[str, Hashable, str, int, DeviceSpec]
+
+
+class PlanCache:
+    """LRU map from structural launch keys to cached cost/trace pairs."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanKey, CachedLaunch]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: PlanKey) -> CachedLaunch | None:
+        """Fetch a cached launch, counting the hit/miss in ``repro.obs``."""
+        entry = self._entries.get(key)
+        metrics = get_metrics()
+        if entry is None:
+            self.misses += 1
+            metrics.counter("plancache.miss").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        metrics.counter("plancache.hit").inc()
+        return entry
+
+    def store(self, key: PlanKey, entry: CachedLaunch) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        get_metrics().gauge("plancache.size").set(len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        """Flat summary (folded into experiment spans and BENCH reports)."""
+        return {
+            "plancache_hits": self.hits,
+            "plancache_misses": self.misses,
+            "plancache_hit_rate": self.hit_rate,
+            "plancache_size": len(self._entries),
+        }
+
+
+_default = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-global cache every kernel ``__call__`` consults."""
+    return _default
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached launches and reset hit/miss accounting."""
+    _default.clear()
+
+
+def plan_key(
+    structure_token: str,
+    kernel_token: Hashable,
+    kind: str,
+    feature_length: int,
+    device: DeviceSpec,
+) -> PlanKey:
+    """Assemble the canonical cache key for one launch structure."""
+    return (structure_token, kernel_token, kind, int(feature_length), device)

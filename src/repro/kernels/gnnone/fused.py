@@ -67,8 +67,9 @@ def fused_gat_attention_numerics(
         alpha = ex / full_sum[rows]
     else:
         alpha = scores
-    Y = np.zeros((coo.num_rows, X.shape[1]))
-    np.add.at(Y, rows, alpha[:, None] * X[cols])
+    from repro.kernels.gnnone.spmm import csr_replay_spmm
+
+    Y = csr_replay_spmm(coo, alpha, np.asarray(X, dtype=np.float64))
     return alpha, Y
 
 
@@ -82,6 +83,9 @@ class GnnOneFusedGATLayer:
     def __init__(self, config: GnnOneConfig = DEFAULT_CONFIG):
         self.config = config
 
+    def cache_token(self):
+        return (type(self).__qualname__, self.config)
+
     def __call__(
         self,
         A: COOMatrix,
@@ -91,11 +95,25 @@ class GnnOneFusedGATLayer:
         *,
         device: DeviceSpec | str | None = None,
     ) -> KernelResult:
+        from repro.kernels.base import _cache_lookup, _cache_store
+
         dev = get_device(device)
         coo = A if A.is_csr_ordered() else A.sort_csr_order()
-        cfg = self.config
         F = X.shape[1]
+        key, hit = _cache_lookup(self, A, F, dev)
+        if hit is not None:
+            _, Y = fused_gat_attention_numerics(coo, el, er, X)
+            return KernelResult(Y, hit.cost, hit.trace, hit.preprocess_seconds)
+        trace = self.simulate(coo, F, dev)
+        _, Y = fused_gat_attention_numerics(coo, el, er, X)
+        cost = estimate_cost(trace, dev)
+        if key is not None:
+            _cache_store(key, cost, trace, 0.0)
+        return KernelResult(Y, cost, trace, 0.0)
 
+    def simulate(self, coo: COOMatrix, F: int, dev: DeviceSpec) -> KernelTrace:
+        """Structural half: plans + trace for the fused two-pass launch."""
+        cfg = self.config
         s1 = plan_stage1(coo.nnz, cfg.cache_size, with_edge_values=False)
         sched = plan_schedule(coo.rows, s1.chunks.chunk_of_nze, s1.chunks.n_chunks, cfg, F)
         grid = max(1, (s1.chunks.n_chunks + cfg.warps_per_cta - 1) // cfg.warps_per_cta)
@@ -153,10 +171,7 @@ class GnnOneFusedGATLayer:
             "output_store", "store",
             sectors=segments * feature_row_sectors(F * 4),
         )
-
-        alpha, Y = fused_gat_attention_numerics(coo, el, er, X)
-        cost = estimate_cost(trace, dev)
-        return KernelResult(Y, cost, trace, 0.0)
+        return trace
 
     def memory_bytes(self, num_vertices: int, num_edges: int, feature_length: int) -> int:
         # No |E|-sized intermediates: scores/alphas never touch DRAM.

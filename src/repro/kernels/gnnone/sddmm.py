@@ -44,12 +44,19 @@ class GnnOneSDDMM(SDDMMKernel):
         self.config = config
         self.name = f"gnnone-sddmm[c{config.cache_size},{config.schedule}]"
 
-    def execute(
-        self, A: COOMatrix, X: np.ndarray, Y: np.ndarray, device: DeviceSpec
-    ) -> tuple[np.ndarray, KernelTrace, float]:
+    def cache_token(self):
+        # The display name omits ablation switches; key on the full config.
+        return (type(self).__qualname__, self.config)
+
+    def compute(self, A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        # Numerics follow the caller's edge order (the trace uses the
+        # CSR-ordered view, which is cost-equivalent).
+        return gathered_dot_sddmm(A, X, Y)
+
+    def simulate(self, A: COOMatrix, F: int, device: DeviceSpec) -> KernelTrace:
+        """Structural half: Stage-1 plan, schedule, and trace recording."""
         cfg = self.config
-        F = X.shape[1]
-        coo = A if A.is_csr_ordered() else A.sort_csr_order()
+        coo = A.sort_csr_order()
 
         with obs.span("gnnone.stage1", kind="sddmm", nnz=coo.nnz,
                       cache_size=cfg.cache_size) as sp:
@@ -76,11 +83,13 @@ class GnnOneSDDMM(SDDMMKernel):
                 trace, s1, sched, F, device, row_reuse=cfg.enable_row_reuse
             )
             record_reduction_sddmm(trace, s1, sched, device)
+        return trace
 
-        # Numerics follow the caller's edge order (the trace used the
-        # CSR-ordered view, which is cost-equivalent).
-        out = gathered_dot_sddmm(A, X, Y)
-        return out, trace, 0.0
+    def execute(
+        self, A: COOMatrix, X: np.ndarray, Y: np.ndarray, device: DeviceSpec
+    ) -> tuple[np.ndarray, KernelTrace, float]:
+        trace = self.simulate(A, X.shape[1], device)
+        return self.compute(A, X, Y), trace, 0.0
 
     def memory_bytes(self, num_vertices: int, num_edges: int, feature_length: int) -> int:
         coo_topology = 8 * num_edges

@@ -30,10 +30,16 @@ class GnnOneSpMV(SpMVKernel):
     #: NZEs each thread accumulates locally (Merrill-style grain).
     items_per_thread = 4
 
-    def execute(
-        self, A: COOMatrix, edge_values: np.ndarray, x: np.ndarray, device: DeviceSpec
-    ) -> tuple[np.ndarray, KernelTrace, float]:
-        coo = A if A.is_csr_ordered() else A.sort_csr_order()
+    def compute(self, A: COOMatrix, edge_values: np.ndarray, x: np.ndarray) -> np.ndarray:
+        # Per-row sequential accumulation over the memoized CSR view —
+        # identical on warm and cold paths since `execute` delegates here.
+        from repro.kernels.gnnone.spmm import csr_replay_spmm
+
+        return csr_replay_spmm(A, edge_values, np.asarray(x, dtype=np.float64))
+
+    def simulate(self, A: COOMatrix, device: DeviceSpec) -> KernelTrace:
+        """Structural half: NZE split, segment census, trace recording."""
+        coo = A.sort_csr_order()
         per_warp = device.warp_size * self.items_per_thread
         chunks = edge_chunks(coo.nnz, per_warp)
         # Thread-local slices: thread t owns items [t*ipt, (t+1)*ipt).
@@ -91,10 +97,13 @@ class GnnOneSpMV(SpMVKernel):
                 chunks.chunk_of_nze, coo.rows.astype(np.int64) // 8, chunks.n_chunks
             ),
         )
+        return trace
 
-        out = np.zeros(A.num_rows, dtype=np.float64)
-        np.add.at(out, A.rows, edge_values * x[A.cols])
-        return out, trace, 0.0
+    def execute(
+        self, A: COOMatrix, edge_values: np.ndarray, x: np.ndarray, device: DeviceSpec
+    ) -> tuple[np.ndarray, KernelTrace, float]:
+        trace = self.simulate(A, device)
+        return self.compute(A, edge_values, x), trace, 0.0
 
     def memory_bytes(self, num_vertices: int, num_edges: int, feature_length: int) -> int:
         return 8 * num_edges + 4 * num_edges + 8 * num_vertices  # COO + vals + x,y

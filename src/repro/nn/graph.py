@@ -31,6 +31,17 @@ class GraphData:
     def num_edges(self) -> int:
         return self.coo.nnz
 
+    @property
+    def structure_token(self) -> str:
+        """Plan-cache fingerprint of the (self-loop-augmented) topology.
+
+        Every epoch's forward/backward kernels launch on ``coo`` or
+        ``coo_t``; both COOMatrix instances live for the whole training
+        run, so their tokens — and all structural plans keyed on them —
+        are computed once and replayed for epochs 2..N.
+        """
+        return self.coo.structure_token
+
     @cached_property
     def transpose_perm(self) -> np.ndarray:
         """Permutation mapping original edge order to ``coo_t``'s order."""
@@ -39,12 +50,15 @@ class GraphData:
     @cached_property
     def coo_t(self) -> COOMatrix:
         perm = self.transpose_perm
-        return COOMatrix(
+        coo_t = COOMatrix(
             self.coo.num_cols,
             self.coo.num_rows,
             self.coo.cols[perm],
             self.coo.rows[perm],
         )
+        # CSR-ordered by construction (lexsorted on the transposed row).
+        coo_t._csr_ordered = True
+        return coo_t
 
     @cached_property
     def degrees(self) -> np.ndarray:

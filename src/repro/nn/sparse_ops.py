@@ -11,6 +11,13 @@ structure lives:
 
 Numerics are plain vectorized NumPy, bit-identical across backends —
 which is the Fig-5 claim (GNNOne trains to the same accuracy as DGL).
+
+Every launch here goes through the kernel base classes and therefore
+the structural plan cache (:mod:`repro.core.plancache`): a training
+loop re-issues the same (topology, kernel, F, device) launches each
+epoch — ``graph.coo`` and ``graph.coo_t`` are long-lived, so from epoch
+2 on the forward SpMM, backward SpMM and backward SDDMM replay their
+cached cost/trace and only the numerics run.
 """
 
 from __future__ import annotations

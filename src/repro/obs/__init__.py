@@ -30,7 +30,9 @@ from repro.obs.analysis import (
     RunDiff,
     diff_runs,
     format_diff,
+    format_plan_cache_line,
     format_summary,
+    plan_cache_summary,
     span_key,
     summarize,
 )
@@ -67,7 +69,9 @@ __all__ = [
     "RunDiff",
     "diff_runs",
     "format_diff",
+    "format_plan_cache_line",
     "format_summary",
+    "plan_cache_summary",
     "span_key",
     "summarize",
     "JsonlWriter",

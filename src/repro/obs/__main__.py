@@ -15,7 +15,14 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.obs.analysis import diff_runs, format_diff, format_summary, summarize
+from repro.obs.analysis import (
+    diff_runs,
+    format_diff,
+    format_plan_cache_line,
+    format_summary,
+    plan_cache_summary,
+    summarize,
+)
 from repro.obs.export import read_trace, render_tree
 
 
@@ -51,7 +58,9 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         if args.command == "summary":
-            print(format_summary(summarize(read_trace(args.trace))))
+            records = read_trace(args.trace)
+            print(format_summary(summarize(records)))
+            print(format_plan_cache_line(*plan_cache_summary(records)))
             return 0
         if args.command == "tree":
             print(render_tree(read_trace(args.trace), max_depth=args.max_depth))

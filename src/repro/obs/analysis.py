@@ -18,7 +18,24 @@ from repro.obs.spans import JsonDict
 
 #: attributes that identify *which* work a span measured (stable across
 #: runs), as opposed to measurement outputs like time_us/dram_bytes.
+#: ``cached`` is deliberately excluded: a warm replay measures the same
+#: work as the cold simulation, and runs with different cache states
+#: must stay diffable point-by-point.
 IDENTITY_ATTRS = ("kind", "kernel", "backend", "dataset", "f", "dim", "experiment", "model")
+
+
+def plan_cache_summary(records: Iterable[JsonDict]) -> tuple[int, int]:
+    """(warm, total) kernel launches in a trace, from ``cached`` attrs."""
+    warm = total = 0
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        cached = rec.get("attrs", {}).get("cached")
+        if cached is None:
+            continue
+        total += 1
+        warm += bool(cached)
+    return warm, total
 
 
 def span_key(record: JsonDict) -> str:
@@ -75,6 +92,16 @@ def format_summary(rows: list[KeySummary]) -> str:
     total_sim = sum(r.sim_us for r in rows)
     lines.append(f"{len(rows)} span identities, {total_sim:,.1f} total simulated us")
     return "\n".join(lines)
+
+
+def format_plan_cache_line(warm: int, total: int) -> str:
+    """Human-readable plan-cache hit-rate footer for ``summary``."""
+    if total == 0:
+        return "plan cache: no kernel launches in trace"
+    return (
+        f"plan cache: {warm}/{total} kernel launches replayed from cache "
+        f"({warm / total:.0%} hit rate)"
+    )
 
 
 @dataclass

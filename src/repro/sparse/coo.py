@@ -14,7 +14,8 @@ state while the topology is static.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -44,6 +45,13 @@ class COOMatrix:
     num_cols: int
     rows: np.ndarray
     cols: np.ndarray
+    # Structural memos (the topology is immutable by convention: nothing
+    # in the package writes to rows/cols after construction).
+    _structure_token: str | None = field(default=None, init=False, repr=False, compare=False)
+    _csr_perm: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
+    _csr_sorted: "COOMatrix | None" = field(default=None, init=False, repr=False, compare=False)
+    _csr_ordered: bool | None = field(default=None, init=False, repr=False, compare=False)
+    _csr_arrays: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.rows = check_array(self.rows, "rows", ndim=1).astype(INDEX_DTYPE, copy=False)
@@ -72,18 +80,77 @@ class COOMatrix:
     def shape(self) -> tuple[int, int]:
         return (self.num_rows, self.num_cols)
 
+    @property
+    def structure_token(self) -> str:
+        """Collision-safe fingerprint of the topology, computed once.
+
+        Keys the structural plan cache (:mod:`repro.core.plancache`):
+        shape and nnz in the clear plus a BLAKE2b digest of the raw
+        ``rows``/``cols`` bytes, so two matrices share a token iff they
+        describe the same NZE sequence.
+        """
+        if self._structure_token is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.ascontiguousarray(self.rows).tobytes())
+            h.update(np.ascontiguousarray(self.cols).tobytes())
+            self._structure_token = (
+                f"{self.num_rows}x{self.num_cols}:{self.nnz}:{h.hexdigest()}"
+            )
+        return self._structure_token
+
     def is_csr_ordered(self) -> bool:
         """True if entries are sorted by (row, col) — the cuSPARSE COO rule."""
-        if self.nnz <= 1:
-            return True
-        r, c = self.rows.astype(np.int64), self.cols.astype(np.int64)
-        key = r * (self.num_cols + 1) + c
-        return bool(np.all(key[1:] >= key[:-1]))
+        if self._csr_ordered is None:
+            if self.nnz <= 1:
+                self._csr_ordered = True
+            else:
+                r, c = self.rows.astype(np.int64), self.cols.astype(np.int64)
+                key = r * (self.num_cols + 1) + c
+                self._csr_ordered = bool(np.all(key[1:] >= key[:-1]))
+        return self._csr_ordered
+
+    def csr_order(self) -> np.ndarray:
+        """Memoized (row, col) lexsort permutation of the NZEs."""
+        if self._csr_perm is None:
+            self._csr_perm = np.lexsort((self.cols, self.rows))
+        return self._csr_perm
 
     def sort_csr_order(self) -> "COOMatrix":
-        """Return a copy sorted by (row, col)."""
-        order = np.lexsort((self.cols, self.rows))
-        return COOMatrix(self.num_rows, self.num_cols, self.rows[order], self.cols[order])
+        """The matrix sorted by (row, col), computed at most once.
+
+        Already-ordered matrices return themselves; otherwise the sorted
+        copy is memoized so repeated kernel launches on the same
+        unsorted topology pay the lexsort exactly once.
+        """
+        if self.is_csr_ordered():
+            return self
+        if self._csr_sorted is None:
+            order = self.csr_order()
+            sorted_coo = COOMatrix(
+                self.num_rows, self.num_cols, self.rows[order], self.cols[order]
+            )
+            sorted_coo._csr_ordered = True
+            sorted_coo._csr_sorted = sorted_coo
+            self._csr_sorted = sorted_coo
+        return self._csr_sorted
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Memoized CSR structural view: ``(indptr, cols, perm)``.
+
+        ``perm`` is the CSR-order permutation to apply to per-NZE value
+        arrays (``None`` when the COO is already CSR-ordered).  Purely
+        value-independent, so every launch on this topology shares one
+        copy — the warm-path numerics build a scipy CSR around these
+        arrays without re-deriving row pointers per call.
+        """
+        if self._csr_arrays is None:
+            coo = self.sort_csr_order()
+            counts = np.bincount(coo.rows, minlength=self.num_rows)
+            indptr = np.zeros(self.num_rows + 1, dtype=INDEX_DTYPE)
+            np.cumsum(counts, out=indptr[1:], dtype=INDEX_DTYPE)
+            perm = None if self.is_csr_ordered() else self.csr_order()
+            self._csr_arrays = (indptr, coo.cols, perm)
+        return self._csr_arrays
 
     # ------------------------------------------------------------------
     def row_degrees(self) -> np.ndarray:

@@ -5,7 +5,24 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import clear_plan_cache, clear_tune_cache
 from repro.sparse import COOMatrix, generators
+
+
+@pytest.fixture(autouse=True)
+def _cold_plan_cache():
+    """Every test starts with a cold structural plan cache.
+
+    Session-scoped graph fixtures are shared across tests, so without
+    this a test asserting on the simulation pipeline (stage spans,
+    trace contents) would observe a warm replay from an earlier test.
+    Tests that want warm behaviour exercise it within their own body.
+    """
+    clear_plan_cache()
+    clear_tune_cache()
+    yield
+    clear_plan_cache()
+    clear_tune_cache()
 
 
 @pytest.fixture(scope="session")

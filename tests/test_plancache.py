@@ -1,0 +1,350 @@
+"""Structural plan cache: replay fidelity, key invalidation, fast paths."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import (
+    autotune,
+    clear_plan_cache,
+    get_plan_cache,
+    plan_cache_enabled,
+    set_plan_cache_enabled,
+)
+from repro.core.plancache import CachedLaunch, PlanCache, plan_key
+from repro.gpusim import A100, V100
+from repro.kernels.base import reference_spmm
+from repro.kernels.gnnone import (
+    GnnOneConfig,
+    GnnOneSDDMM,
+    GnnOneSpMM,
+    GnnOneSpMV,
+    segment_sum_spmm,
+)
+from repro.kernels.gnnone.spmm import csr_replay_spmm
+from repro.kernels.registry import spmm_kernel
+from repro.sparse import COOMatrix
+
+
+@st.composite
+def graph_and_dim(draw):
+    n = draw(st.integers(2, 30))
+    nnz = draw(st.integers(1, 120))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    coo = COOMatrix.from_edges(n, n, rows, cols)
+    F = draw(st.sampled_from([1, 4, 8, 16, 32]))
+    return coo, F, rng
+
+
+def _cost_fields(cost):
+    """CostReport flattened to primitives for field-by-field comparison."""
+    return dataclasses.asdict(cost)
+
+
+class TestReplayFidelity:
+    @given(data=graph_and_dim())
+    @settings(max_examples=25, deadline=None)
+    def test_warm_cost_report_equals_fresh_simulation(self, data):
+        """A cache hit replays exactly what a from-scratch run computes."""
+        coo, F, rng = data
+        vals = rng.standard_normal(coo.nnz)
+        X = rng.standard_normal((coo.num_cols, F))
+        kernel = GnnOneSpMM()
+        clear_plan_cache()
+        kernel(coo, vals, X)                      # cold: populates the cache
+        warm = kernel(coo, vals, X)               # hit: replays cost/trace
+        set_plan_cache_enabled(False)
+        try:
+            fresh = kernel(coo, vals, X)          # full simulation, no cache
+        finally:
+            set_plan_cache_enabled(None)
+        assert _cost_fields(warm.cost) == _cost_fields(fresh.cost)
+        assert warm.time_us == fresh.time_us
+        np.testing.assert_array_equal(warm.output, fresh.output)
+
+    @given(data=graph_and_dim())
+    @settings(max_examples=25, deadline=None)
+    def test_warm_numerics_track_fresh_inputs(self, data):
+        """Hits recompute numerics from the actual operands, not the cache."""
+        coo, F, rng = data
+        kernel = GnnOneSpMM()
+        vals1 = rng.standard_normal(coo.nnz)
+        X1 = rng.standard_normal((coo.num_cols, F))
+        first = kernel(coo, vals1, X1)
+        vals2 = rng.standard_normal(coo.nnz)
+        X2 = rng.standard_normal((coo.num_cols, F))
+        second = kernel(coo, vals2, X2)           # warm launch, new values
+        assert second.time_us == first.time_us    # structural replay...
+        np.testing.assert_allclose(               # ...fresh numerics
+            second.output, reference_spmm(coo, vals2, X2), atol=1e-9
+        )
+
+    def test_hit_skips_simulation_spans_and_marks_cached(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 16))
+        kernel = GnnOneSpMM()
+        kernel(small_graph, vals, X)
+        with obs.capture() as records:
+            kernel(small_graph, vals, X)
+        names = {r["name"] for r in records}
+        assert "gnnone.stage1" not in names
+        assert "gnnone.schedule" not in names
+        (kernel_span,) = [r for r in records if r["name"] == "kernel.spmm"]
+        assert kernel_span["attrs"]["cached"] is True
+
+    def test_cold_call_is_marked_uncached(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 16))
+        with obs.capture() as records:
+            GnnOneSpMM()(small_graph, vals, X)
+        (kernel_span,) = [r for r in records if r["name"] == "kernel.spmm"]
+        assert kernel_span["attrs"]["cached"] is False
+        assert "gnnone.stage1" in {r["name"] for r in records}
+
+    def test_hit_and_miss_counters(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        obs.reset_metrics()
+        kernel = GnnOneSpMM()
+        for _ in range(4):
+            kernel(small_graph, vals, X)
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters["plancache.miss"] == 1
+        assert counters["plancache.hit"] == 3
+        cache = get_plan_cache()
+        assert (cache.hits, cache.misses) == (3, 1)
+        assert cache.hit_rate == pytest.approx(0.75)
+
+
+class TestKeyInvalidation:
+    def _misses_for(self, calls):
+        cache = get_plan_cache()
+        before = cache.misses
+        for call in calls:
+            call()
+        return cache.misses - before
+
+    def test_config_change_invalidates(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        a = GnnOneSpMM(GnnOneConfig(cache_size=64))
+        b = GnnOneSpMM(GnnOneConfig(cache_size=128))
+        misses = self._misses_for([
+            lambda: a(small_graph, vals, X), lambda: b(small_graph, vals, X)
+        ])
+        assert misses == 2
+
+    def test_ablation_switch_invalidates_despite_same_name(self, small_graph, rng):
+        """Display names omit ablation flags; the key must not."""
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        a = GnnOneSpMM(GnnOneConfig(enable_nze_cache=True))
+        b = GnnOneSpMM(GnnOneConfig(enable_nze_cache=False))
+        assert a.name == b.name
+        misses = self._misses_for([
+            lambda: a(small_graph, vals, X), lambda: b(small_graph, vals, X)
+        ])
+        assert misses == 2
+
+    def test_feature_length_invalidates(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        kernel = GnnOneSpMM()
+        misses = self._misses_for([
+            lambda f=f: kernel(small_graph, vals,
+                               rng.standard_normal((small_graph.num_cols, f)))
+            for f in (8, 16)
+        ])
+        assert misses == 2
+
+    def test_device_invalidates(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        kernel = GnnOneSpMM()
+        misses = self._misses_for([
+            lambda: kernel(small_graph, vals, X, device=A100),
+            lambda: kernel(small_graph, vals, X, device=V100),
+        ])
+        assert misses == 2
+
+    def test_topology_invalidates(self, rng):
+        a = COOMatrix.from_edges(6, 6, [0, 1, 2], [1, 2, 3])
+        b = COOMatrix.from_edges(6, 6, [0, 1, 2], [1, 2, 4])
+        assert a.structure_token != b.structure_token
+        X = rng.standard_normal((6, 8))
+        kernel = GnnOneSpMM()
+        misses = self._misses_for([
+            lambda: kernel(a, np.ones(a.nnz), X),
+            lambda: kernel(b, np.ones(b.nnz), X),
+        ])
+        assert misses == 2
+
+    def test_distinct_kernels_never_share_entries(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        misses = self._misses_for([
+            lambda name=name: spmm_kernel(name)(small_graph, vals, X)
+            for name in ("gnnone", "dgl", "cusparse")
+        ])
+        assert misses == 3
+
+
+class TestCacheSwitches:
+    def test_env_switch_disables(self, small_graph, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        assert not plan_cache_enabled()
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        kernel = GnnOneSpMM()
+        kernel(small_graph, vals, X)
+        kernel(small_graph, vals, X)
+        cache = get_plan_cache()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_programmatic_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        set_plan_cache_enabled(True)
+        try:
+            assert plan_cache_enabled()
+        finally:
+            set_plan_cache_enabled(None)
+        assert not plan_cache_enabled()
+
+    def test_disabled_runs_match_enabled_runs(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 8))
+        kernel = GnnOneSpMM()
+        warm = kernel(small_graph, vals, X)
+        set_plan_cache_enabled(False)
+        try:
+            off = kernel(small_graph, vals, X)
+        finally:
+            set_plan_cache_enabled(None)
+        assert warm.time_us == off.time_us
+        np.testing.assert_array_equal(warm.output, off.output)
+
+
+class TestPlanCacheLRU:
+    def test_capacity_bound_and_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        entry = CachedLaunch(cost=None, trace=None)
+        keys = [plan_key(f"t{i}", "k", "spmm", 8, A100) for i in range(3)]
+        for k in keys:
+            cache.store(k, entry)
+        assert len(cache) == 2
+        assert cache.lookup(keys[0]) is None      # oldest evicted
+        assert cache.lookup(keys[2]) is entry
+
+    def test_lookup_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        entry = CachedLaunch(cost=None, trace=None)
+        k0, k1, k2 = (plan_key(f"t{i}", "k", "spmm", 8, A100) for i in range(3))
+        cache.store(k0, entry)
+        cache.store(k1, entry)
+        cache.lookup(k0)                          # k0 now most recent
+        cache.store(k2, entry)                    # evicts k1, not k0
+        assert cache.lookup(k0) is entry
+        assert cache.lookup(k1) is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestAutotuneMemo:
+    def test_tune_result_memoized_per_structure(self, small_graph):
+        r1 = autotune(small_graph, 16, "spmm")
+        r2 = autotune(small_graph, 16, "spmm")
+        assert r2 is r1
+
+    def test_operands_skip_rng_draw_and_share_memo(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        X = rng.standard_normal((small_graph.num_cols, 16))
+        r1 = autotune(small_graph, 16, "spmm", operands=(vals, X))
+        r2 = autotune(small_graph, 16, "spmm")    # value-independent memo
+        assert r2 is r1
+
+    def test_memo_respects_kind_and_feature_length(self, small_graph):
+        spmm16 = autotune(small_graph, 16, "spmm")
+        assert autotune(small_graph, 32, "spmm") is not spmm16
+        assert autotune(small_graph, 16, "sddmm") is not spmm16
+
+    def test_disabled_cache_disables_memo(self, small_graph):
+        set_plan_cache_enabled(False)
+        try:
+            r1 = autotune(small_graph, 16, "spmm")
+            r2 = autotune(small_graph, 16, "spmm")
+        finally:
+            set_plan_cache_enabled(None)
+        assert r1 is not r2
+        assert r1.config == r2.config
+
+
+class TestStructuralMemos:
+    def test_sort_csr_order_memoized(self):
+        coo = COOMatrix.from_edges(5, 5, [3, 1, 0], [0, 2, 4], deduplicate=False)
+        unsorted = COOMatrix(5, 5, coo.rows[::-1].copy(), coo.cols[::-1].copy())
+        assert not unsorted.is_csr_ordered()
+        s1 = unsorted.sort_csr_order()
+        s2 = unsorted.sort_csr_order()
+        assert s2 is s1
+        assert s1.is_csr_ordered()
+        assert s1.sort_csr_order() is s1
+
+    def test_csr_order_memoized(self):
+        unsorted = COOMatrix(4, 4, np.array([2, 0, 1]), np.array([1, 3, 0]))
+        assert unsorted.csr_order() is unsorted.csr_order()
+
+    def test_structure_token_distinguishes_shape(self):
+        a = COOMatrix.from_edges(4, 4, [0, 1], [1, 2])
+        b = COOMatrix.from_edges(5, 4, [0, 1], [1, 2])
+        assert a.structure_token != b.structure_token
+        same = COOMatrix.from_edges(4, 4, [0, 1], [1, 2])
+        assert same.structure_token == a.structure_token
+
+    @given(data=graph_and_dim())
+    @settings(max_examples=25, deadline=None)
+    def test_csr_replay_spmm_matches_segment_sum(self, data):
+        """The fast warm-path numerics pin to the validation-grade mirror."""
+        coo, F, rng = data
+        vals = rng.standard_normal(coo.nnz)
+        X = rng.standard_normal((coo.num_cols, F))
+        np.testing.assert_allclose(
+            csr_replay_spmm(coo, vals, X),
+            segment_sum_spmm(coo, vals, X),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_csr_arrays_memoized_and_consistent(self):
+        unsorted = COOMatrix(4, 4, np.array([2, 0, 1]), np.array([1, 3, 0]))
+        indptr, cols, perm = unsorted.csr_arrays()
+        assert unsorted.csr_arrays() is unsorted.csr_arrays()
+        assert perm is not None
+        np.testing.assert_array_equal(indptr, [0, 1, 2, 3, 3])
+        np.testing.assert_array_equal(cols, unsorted.cols[perm])
+
+
+class TestSpmvAndSddmmCaching:
+    def test_spmv_warm_replay(self, small_graph, rng):
+        vals = rng.standard_normal(small_graph.nnz)
+        x = rng.standard_normal(small_graph.num_cols)
+        kernel = GnnOneSpMV()
+        cold = kernel(small_graph, vals, x)
+        warm = kernel(small_graph, vals, x)
+        assert warm.time_us == cold.time_us
+        assert get_plan_cache().hits >= 1
+        np.testing.assert_array_equal(warm.output, cold.output)
+
+    def test_sddmm_warm_replay(self, small_graph, rng):
+        Xr = rng.standard_normal((small_graph.num_rows, 8))
+        Yc = rng.standard_normal((small_graph.num_cols, 8))
+        kernel = GnnOneSDDMM()
+        cold = kernel(small_graph, Xr, Yc)
+        warm = kernel(small_graph, Xr, Yc)
+        assert warm.time_us == cold.time_us
+        assert get_plan_cache().hits >= 1
