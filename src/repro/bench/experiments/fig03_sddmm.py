@@ -9,11 +9,26 @@ larger speedups at small feature lengths.
 
 from __future__ import annotations
 
-from repro.bench.harness import FEATURE_LENGTHS, experiment, time_sddmm
+from repro.bench.harness import FEATURE_LENGTHS, experiment, sweep_points, time_sddmm
 from repro.bench.report import SDDMM_OOM_SPEEDUP, ExperimentResult, speedup_cell
 from repro.sparse.datasets import KERNEL_SWEEP_KEYS, QUICK_KEYS
 
 BASELINES = ("dgsparse", "cusparse", "sputnik", "featgraph", "dgl")
+
+
+def _point_row(point: tuple[str, int]) -> dict:
+    """One (dataset, dim) cell row — independent of every other point."""
+    key, dim = point
+    ours = time_sddmm("gnnone", key, dim)
+    row: dict = {"dataset": key, "dim": dim, "gnnone_us": ours}
+    for base in BASELINES:
+        base_us = time_sddmm(base, key, dim)
+        cell = speedup_cell(base_us, ours, oom_marker=SDDMM_OOM_SPEEDUP)
+        # Sputnik's |V|^2-grid failure is a launch error, not OOM.
+        if base == "sputnik" and base_us is None and ours is not None:
+            cell = "ERR"
+        row[base] = cell
+    return row
 
 
 @experiment("fig03")
@@ -24,18 +39,9 @@ def run(*, quick: bool = False, feature_lengths=FEATURE_LENGTHS) -> ExperimentRe
         "SDDMM: GNNOne speedup over prior works (x; 64 = baseline OOM, ERR = launch failure)",
         ["dataset", "dim", "gnnone_us", *BASELINES],
     )
-    for key in keys:
-        for dim in feature_lengths:
-            ours = time_sddmm("gnnone", key, dim)
-            row: dict = {"dataset": key, "dim": dim, "gnnone_us": ours}
-            for base in BASELINES:
-                base_us = time_sddmm(base, key, dim)
-                cell = speedup_cell(base_us, ours, oom_marker=SDDMM_OOM_SPEEDUP)
-                # Sputnik's |V|^2-grid failure is a launch error, not OOM.
-                if base == "sputnik" and base_us is None and ours is not None:
-                    cell = "ERR"
-                row[base] = cell
-            result.add_row(**row)
+    grid = [(key, dim) for key in keys for dim in feature_lengths]
+    for row in sweep_points(_point_row, grid, label="bench.sweep.fig03"):
+        result.add_row(**row)
     for base in BASELINES:
         gm = result.geomean(base)
         result.notes.append(f"geomean speedup over {base}: {gm:.2f}x")

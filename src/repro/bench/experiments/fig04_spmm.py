@@ -8,11 +8,23 @@ GE-SpMM dropping caching and Huang/GNNAdvisor idling lanes below dim 32.
 
 from __future__ import annotations
 
-from repro.bench.harness import FEATURE_LENGTHS, experiment, time_spmm
+from repro.bench.harness import FEATURE_LENGTHS, experiment, sweep_points, time_spmm
 from repro.bench.report import SPMM_OOM_SPEEDUP, ExperimentResult, speedup_cell
 from repro.sparse.datasets import KERNEL_SWEEP_KEYS, QUICK_KEYS
 
 BASELINES = ("ge-spmm", "cusparse", "huang", "featgraph", "gnnadvisor")
+
+
+def _point_row(point: tuple[str, int]) -> dict:
+    """One (dataset, dim) cell row — independent of every other point."""
+    key, dim = point
+    ours = time_spmm("gnnone", key, dim)
+    row: dict = {"dataset": key, "dim": dim, "gnnone_us": ours}
+    for base in BASELINES:
+        row[base] = speedup_cell(
+            time_spmm(base, key, dim), ours, oom_marker=SPMM_OOM_SPEEDUP
+        )
+    return row
 
 
 @experiment("fig04")
@@ -23,15 +35,9 @@ def run(*, quick: bool = False, feature_lengths=FEATURE_LENGTHS) -> ExperimentRe
         "SpMM: GNNOne speedup over prior works (x; 256 = baseline OOM, OOM = everyone)",
         ["dataset", "dim", "gnnone_us", *BASELINES],
     )
-    for key in keys:
-        for dim in feature_lengths:
-            ours = time_spmm("gnnone", key, dim)
-            row: dict = {"dataset": key, "dim": dim, "gnnone_us": ours}
-            for base in BASELINES:
-                row[base] = speedup_cell(
-                    time_spmm(base, key, dim), ours, oom_marker=SPMM_OOM_SPEEDUP
-                )
-            result.add_row(**row)
+    grid = [(key, dim) for key in keys for dim in feature_lengths]
+    for row in sweep_points(_point_row, grid, label="bench.sweep.fig04"):
+        result.add_row(**row)
     for base in BASELINES:
         result.notes.append(f"geomean speedup over {base}: {result.geomean(base):.2f}x")
     result.notes.append(

@@ -10,18 +10,27 @@ Every sweep point emits an :mod:`repro.obs` span (``bench.spmm`` /
 ``bench.sddmm``) keyed by kernel × dataset × feature length, carrying
 the simulated time or the OOM/launch-failure outcome — the per-point
 record ``python -m repro.obs diff`` compares across runs.
+
+Sweep points are independent of each other, so figure experiments run
+them through the sharded execution engine (:func:`sweep_points`): with
+``REPRO_EXEC_WORKERS > 1`` the (dataset, dim) grid executes
+concurrently on the engine's worker pool while row order stays
+deterministic.  Kernel numerics invoked *inside* a concurrently
+executed point degrade to serial automatically, so the pool never
+deadlocks on nested parallelism.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
 from repro import obs
 from repro.core import plancache
 from repro.errors import BenchmarkError, KernelLaunchError
+from repro.exec import get_engine
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.kernels.registry import sddmm_kernel, spmm_kernel
 from repro.nn.memory import USABLE_FRACTION
@@ -68,6 +77,22 @@ def experiment_ids() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def sweep_points(fn: Callable, points: Iterable, *, label: str = "bench.sweep") -> list:
+    """Run independent sweep points, concurrently when the engine allows.
+
+    ``fn(point)`` is applied to every point through
+    :meth:`repro.exec.ExecutionEngine.map` — order-preserving, so a
+    figure's row order is identical at every worker count.  The
+    enclosing span records the effective worker count alongside the
+    grid size; each point's own ``bench.*`` span is emitted from the
+    worker thread with correct parent linkage.
+    """
+    points = list(points)
+    engine = get_engine()
+    with obs.span(label, points=len(points), workers=engine.workers):
+        return engine.map(fn, points, label=label)
+
+
 def kernel_fits(kernel, spec: DatasetSpec, feature_length: int, device: DeviceSpec) -> bool:
     """Does the kernel's footprint fit at *paper scale*?"""
     needed = kernel.memory_bytes(spec.paper_vertices, spec.paper_edges, feature_length)
@@ -110,10 +135,14 @@ def time_spmm(
             return None
         A, vals, X, _ = sweep_operands(spec.key, feature_length, seed)
         try:
-            time_us = kernel(A, vals, X, device=dev).time_us
+            result = kernel(A, vals, X, device=dev)
         except KernelLaunchError:
             sp.set(outcome="launch-error")
             return None
+        time_us = result.time_us
+        # The sweep only reads the simulated time; hand the output
+        # buffer back so the next launch of this shape skips allocation.
+        get_engine().release(result.output)
         sp.set(outcome="ok").add_sim_us(time_us)
         return time_us
 
@@ -131,10 +160,12 @@ def time_sddmm(
             return None
         A, _, Y, X = sweep_operands(spec.key, feature_length, seed)
         try:
-            time_us = kernel(A, X, Y, device=dev).time_us
+            result = kernel(A, X, Y, device=dev)
         except KernelLaunchError:
             sp.set(outcome="launch-error")
             return None
+        time_us = result.time_us
+        get_engine().release(result.output)
         sp.set(outcome="ok").add_sim_us(time_us)
         return time_us
 

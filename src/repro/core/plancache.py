@@ -29,6 +29,11 @@ numerics (see :mod:`repro.kernels.base`), so outputs always track the
 actual input values.  Kernel-launch failures are not cached — an
 invalid configuration re-raises from the real pipeline every time.
 
+The execution engine's row-shard plans (:mod:`repro.exec.sharding`) are
+equally value-independent and memoize here alongside the cost/trace
+entries, under keys whose kind tag (``"shard"``) can never collide with
+a kernel launch.
+
 Disable with ``REPRO_PLAN_CACHE=0`` (debugging the simulation pipeline)
 or programmatically via :func:`set_plan_cache_enabled`.
 """
@@ -36,6 +41,7 @@ or programmatically via :func:`set_plan_cache_enabled`.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -83,57 +89,75 @@ PlanKey = tuple[str, Hashable, str, int, DeviceSpec]
 
 
 class PlanCache:
-    """LRU map from structural launch keys to cached cost/trace pairs."""
+    """LRU map from structural launch keys to cached cost/trace pairs.
+
+    Thread-safe: the execution engine (:mod:`repro.exec`) consults the
+    global cache from its worker threads (shard plans memoize here, and
+    concurrent bench sweep points look up launch structures), so every
+    lookup/store/evict runs under one re-entrant lock.  ``move_to_end``
+    during a concurrent ``store``'s eviction sweep would otherwise
+    corrupt the ``OrderedDict``.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[PlanKey, CachedLaunch]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, key: PlanKey) -> CachedLaunch | None:
         """Fetch a cached launch, counting the hit/miss in ``repro.obs``."""
-        entry = self._entries.get(key)
         metrics = get_metrics()
-        if entry is None:
-            self.misses += 1
-            metrics.counter("plancache.miss").inc()
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        metrics.counter("plancache.hit").inc()
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                metrics.counter("plancache.miss").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            metrics.counter("plancache.hit").inc()
+            return entry
 
     def store(self, key: PlanKey, entry: CachedLaunch) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        get_metrics().gauge("plancache.size").set(len(self._entries))
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            size = len(self._entries)
+        get_metrics().gauge("plancache.size").set(size)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, float | int]:
         """Flat summary (folded into experiment spans and BENCH reports)."""
-        return {
-            "plancache_hits": self.hits,
-            "plancache_misses": self.misses,
-            "plancache_hit_rate": self.hit_rate,
-            "plancache_size": len(self._entries),
-        }
+        with self._lock:
+            return {
+                "plancache_hits": self.hits,
+                "plancache_misses": self.misses,
+                "plancache_hit_rate": self.hits / (self.hits + self.misses)
+                if (self.hits + self.misses)
+                else 0.0,
+                "plancache_size": len(self._entries),
+            }
 
 
 _default = PlanCache()

@@ -1,0 +1,39 @@
+"""repro.exec — sharded parallel execution engine for kernel numerics.
+
+Shards each kernel launch's value-dependent half (the numerics left on
+the warm path by the structural plan cache) into NNZ-balanced row
+blocks executed concurrently on a persistent thread pool, bit-identical
+to the serial path.  ``REPRO_EXEC_WORKERS`` (default 1) turns it on.
+"""
+
+from repro.exec.engine import (
+    DEFAULT_MIN_PARALLEL_NNZ,
+    BufferPool,
+    ExecutionEngine,
+    exec_workers,
+    get_engine,
+    resolve_workers,
+    set_exec_workers,
+)
+from repro.exec.sharding import (
+    RowBlock,
+    ShardPlan,
+    build_row_shard_plan,
+    edge_range_bounds,
+    row_shard_plan,
+)
+
+__all__ = [
+    "DEFAULT_MIN_PARALLEL_NNZ",
+    "BufferPool",
+    "ExecutionEngine",
+    "exec_workers",
+    "get_engine",
+    "resolve_workers",
+    "set_exec_workers",
+    "RowBlock",
+    "ShardPlan",
+    "build_row_shard_plan",
+    "edge_range_bounds",
+    "row_shard_plan",
+]

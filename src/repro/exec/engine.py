@@ -1,0 +1,355 @@
+"""Sharded parallel execution engine for host-side kernel numerics.
+
+After the structural plan cache (PR 2), a warm kernel launch runs
+*only* its numerics — one serial scipy/NumPy call.  This module makes
+that remaining half scale on multi-core hosts: a persistent
+``ThreadPoolExecutor`` executes each launch's numerics as NNZ-balanced
+row blocks (:mod:`repro.exec.sharding`), each block writing its own
+rows/edges of a pooled pre-allocated output buffer.  scipy's CSR loops
+and NumPy's einsum release the GIL, so blocks genuinely overlap.
+
+Correctness invariant: row blocks never share an output row (SpMM/SpMV)
+and NZE ranges never share an output edge (SDDMM), so no atomics are
+needed and the sharded output is **bit-identical** to the serial path
+(the property suite pins this).  Simulated device times are untouched —
+the engine only reorganizes host work.
+
+``REPRO_EXEC_WORKERS`` selects the worker count (default 1 = the serial
+path, so all simulated-time figures are unchanged);
+``REPRO_EXEC_MIN_NNZ`` (default 4096) keeps tiny launches serial where
+fan-out overhead would dominate.  The engine also exposes
+:meth:`ExecutionEngine.map` for embarrassingly parallel sweeps (the
+bench harness runs independent ``(dataset, F)`` points through it);
+nested parallelism from inside a worker thread degrades to serial, so
+sweep-level and shard-level parallelism compose without deadlock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.exec import numerics
+from repro.exec.sharding import RowBlock, ShardPlan, edge_range_bounds, row_shard_plan
+from repro.sparse.coo import COOMatrix
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_ENV_WORKERS = "REPRO_EXEC_WORKERS"
+_ENV_MIN_NNZ = "REPRO_EXEC_MIN_NNZ"
+
+#: below this NZE count a launch stays serial (fan-out costs ~10us per
+#: shard; a 4k-NZE SpMM's numerics are in the same ballpark)
+DEFAULT_MIN_PARALLEL_NNZ = 4096
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def resolve_workers() -> int:
+    """Worker count from ``REPRO_EXEC_WORKERS`` (default 1 = serial)."""
+    return max(1, _env_int(_ENV_WORKERS, 1))
+
+
+class BufferPool:
+    """Reusable pre-allocated float64 output buffers, keyed by shape.
+
+    ``acquire`` hands ownership of a buffer to the caller; a caller that
+    is done with an engine-produced output (benchmark sweeps discard
+    them after reading the simulated time) gives it back with
+    ``release`` so the next launch of that shape skips the allocation.
+    Only buffers the pool itself created are ever re-pooled — arbitrary
+    caller arrays are refused, since pooling an array someone else still
+    references would corrupt their data.
+    """
+
+    def __init__(self, max_free_per_shape: int = 4):
+        self.max_free_per_shape = max_free_per_shape
+        self._lock = threading.Lock()
+        self._free: dict[tuple[int, ...], list[np.ndarray]] = {}
+        self._issued: set[int] = set()
+
+    def acquire(self, shape: tuple[int, ...], *, zero: bool = True) -> np.ndarray:
+        metrics = obs.get_metrics()
+        with self._lock:
+            free = self._free.get(shape)
+            buf = free.pop() if free else None
+        if buf is None:
+            metrics.counter("exec.pool.miss").inc()
+            buf = np.zeros(shape) if zero else np.empty(shape)
+        else:
+            metrics.counter("exec.pool.hit").inc()
+            if zero:
+                buf.fill(0.0)
+        with self._lock:
+            self._issued.add(id(buf))
+        return buf
+
+    def release(self, buf: np.ndarray) -> bool:
+        """Return an engine-issued buffer; True if it was re-pooled."""
+        if not isinstance(buf, np.ndarray) or buf.base is not None:
+            return False
+        with self._lock:
+            if id(buf) not in self._issued:
+                return False
+            self._issued.discard(id(buf))
+            free = self._free.setdefault(buf.shape, [])
+            if len(free) >= self.max_free_per_shape:
+                return False
+            free.append(buf)
+        return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+            self._issued.clear()
+
+
+class ExecutionEngine:
+    """Persistent thread-pool runner for sharded kernel numerics."""
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        min_parallel_nnz: int | None = None,
+    ):
+        self.workers = resolve_workers() if workers is None else max(1, int(workers))
+        self.min_parallel_nnz = (
+            _env_int(_ENV_MIN_NNZ, DEFAULT_MIN_PARALLEL_NNZ)
+            if min_parallel_nnz is None
+            else int(min_parallel_nnz)
+        )
+        self.pool = BufferPool()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._tls = threading.local()
+        obs.get_metrics().gauge("exec.workers").set(self.workers)
+
+    # ------------------------------------------------------------- pool
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            with self._executor_lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-exec",
+                        initializer=self._mark_worker_thread,
+                    )
+        return self._executor
+
+    def _mark_worker_thread(self) -> None:
+        self._tls.in_worker = True
+
+    def _in_worker(self) -> bool:
+        return getattr(self._tls, "in_worker", False)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+        self.pool.clear()
+
+    def _parallel_ok(self, nnz: int) -> bool:
+        return self.workers > 1 and nnz >= self.min_parallel_nnz and not self._in_worker()
+
+    # ---------------------------------------------------------- kernels
+    def spmm(self, A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """``Y = A_w @ X`` — sharded when workers allow, else serial."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return self.spmv(A, edge_values, X)
+        if not self._parallel_ok(A.nnz):
+            obs.get_metrics().counter("exec.launch.serial").inc()
+            return numerics.csr_spmm_serial(A, edge_values, X)
+        return self._sharded_csr("spmm", A, edge_values, X)
+
+    def spmv(self, A: COOMatrix, edge_values: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """``y = A_w @ x`` — the F=1 slice of the same row-block split."""
+        x = np.asarray(x, dtype=np.float64)
+        if not self._parallel_ok(A.nnz):
+            obs.get_metrics().counter("exec.launch.serial").inc()
+            return numerics.csr_spmm_serial(A, edge_values, x)
+        return self._sharded_csr("spmv", A, edge_values, x)
+
+    def _sharded_csr(self, kind: str, A: COOMatrix, edge_values, X) -> np.ndarray:
+        plan = row_shard_plan(A, self.workers)
+        blocks = plan.nonempty_blocks()
+        if len(blocks) <= 1:
+            obs.get_metrics().counter("exec.launch.serial").inc()
+            return numerics.csr_spmm_serial(A, edge_values, X)
+        indptr, cols, perm = A.csr_arrays()
+        data = np.asarray(edge_values, dtype=np.float64)
+        if perm is not None:
+            data = data[perm]
+        Xc = np.ascontiguousarray(X)
+        shape = (A.num_rows,) if Xc.ndim == 1 else (A.num_rows, Xc.shape[1])
+        out = self.pool.acquire(shape, zero=True)
+
+        def block_fn(b: RowBlock) -> None:
+            numerics.csr_block_spmm(
+                indptr, cols, data, Xc, out,
+                b.row_start, b.row_end, b.nnz_start, b.nnz_end, A.num_cols,
+            )
+
+        self._run_blocks(kind, plan, blocks, block_fn)
+        return out
+
+    def sddmm(self, A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """``W[e] = <X[row_e], Y[col_e]>`` in the caller's edge order."""
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if not self._parallel_ok(A.nnz):
+            obs.get_metrics().counter("exec.launch.serial").inc()
+            return numerics.sddmm_serial(A, X, Y)
+        # Per-edge outputs: row-aligned NZE ranges when the COO is
+        # CSR-ordered (the common case — same blocks as SpMM), plain
+        # equal ranges otherwise.  Either way output slices are disjoint.
+        if A.is_csr_ordered():
+            plan = row_shard_plan(A, self.workers)
+            blocks = plan.nonempty_blocks()
+        else:
+            bounds = edge_range_bounds(A.nnz, self.workers)
+            plan = None
+            blocks = [
+                RowBlock(i, 0, 0, int(bounds[i]), int(bounds[i + 1]))
+                for i in range(len(bounds) - 1)
+                if bounds[i + 1] > bounds[i]
+            ]
+        if len(blocks) <= 1:
+            obs.get_metrics().counter("exec.launch.serial").inc()
+            return numerics.sddmm_serial(A, X, Y)
+        out = self.pool.acquire((A.nnz,), zero=False)
+        rows, cols = A.rows, A.cols
+
+        def block_fn(b: RowBlock) -> None:
+            numerics.sddmm_block(rows, cols, X, Y, out, b.nnz_start, b.nnz_end)
+
+        self._run_blocks("sddmm", plan, blocks, block_fn)
+        return out
+
+    def release(self, buf: np.ndarray) -> bool:
+        """Give an engine-produced output buffer back to the pool."""
+        return self.pool.release(buf)
+
+    # ----------------------------------------------------------- fanout
+    def _run_blocks(
+        self,
+        kind: str,
+        plan: ShardPlan | None,
+        blocks: Sequence[RowBlock],
+        block_fn: Callable[[RowBlock], None],
+    ) -> None:
+        metrics = obs.get_metrics()
+        metrics.counter("exec.launch.parallel").inc()
+        imbalance = plan.imbalance if plan is not None else 1.0
+        metrics.histogram("exec.shard_imbalance").observe(imbalance)
+        executor = self._ensure_executor()
+        with obs.span(
+            "exec.parallel", kind=kind, workers=self.workers,
+            shards=len(blocks), shard_imbalance=imbalance,
+        ):
+            futures = []
+            for b in blocks:
+                ctx = contextvars.copy_context()
+                futures.append(executor.submit(ctx.run, self._run_shard, kind, b, block_fn))
+            for f in futures:
+                f.result()
+
+    def _run_shard(self, kind: str, block: RowBlock, block_fn) -> None:
+        with obs.span(
+            "exec.shard", kind=kind, shard=block.index,
+            rows=block.num_rows, nnz=block.nnz,
+            worker=threading.current_thread().name,
+        ):
+            block_fn(block)
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        *,
+        label: str = "exec.point",
+    ) -> list[R]:
+        """Run ``fn`` over independent items, concurrently when enabled.
+
+        Order-preserving.  Falls back to a plain loop with one worker,
+        a single item, or when called from inside an engine worker
+        thread (so sweep-level and shard-level parallelism never nest
+        into a deadlock on the shared pool).
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1 or self._in_worker():
+            return [fn(item) for item in items]
+        executor = self._ensure_executor()
+        futures = []
+        for i, item in enumerate(items):
+            ctx = contextvars.copy_context()
+            futures.append(executor.submit(ctx.run, self._run_point, fn, item, i, label))
+        return [f.result() for f in futures]
+
+    def _run_point(self, fn, item, index: int, label: str):
+        with obs.span(label, index=index, worker=threading.current_thread().name):
+            return fn(item)
+
+
+# ---------------------------------------------------------------- global
+_default: ExecutionEngine | None = None
+_default_lock = threading.Lock()
+
+
+def get_engine() -> ExecutionEngine:
+    """The process-global engine every kernel ``compute()`` consults."""
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = ExecutionEngine()
+    return _default
+
+
+def set_exec_workers(workers: int | None) -> None:
+    """Replace the global engine (``None`` re-resolves from the env)."""
+    global _default
+    with _default_lock:
+        old, _default = _default, ExecutionEngine(workers)
+    if old is not None:
+        old.shutdown()
+
+
+@contextlib.contextmanager
+def exec_workers(workers: int, *, min_parallel_nnz: int | None = None):
+    """Temporarily swap in an engine with the given worker count (tests)."""
+    global _default
+    override = ExecutionEngine(workers, min_parallel_nnz=min_parallel_nnz)
+    with _default_lock:
+        prev, _default = _default, override
+    try:
+        yield override
+    finally:
+        with _default_lock:
+            _default = prev
+        override.shutdown()
+        obs.get_metrics().gauge("exec.workers").set(
+            prev.workers if prev is not None else resolve_workers()
+        )

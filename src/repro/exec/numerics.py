@@ -1,0 +1,109 @@
+"""Serial and per-block kernel numerics shared by the execution engine.
+
+The serial functions are the exact numerics the kernels ran before the
+engine existed (moved here from ``repro.kernels.gnnone.spmm`` so the
+engine does not import the kernel layer); the block functions compute
+one row block / NZE range of the same result, writing into a caller
+slice of the pooled output buffer.
+
+Bit-identity argument: scipy's ``csr @ dense`` is one C loop per row
+accumulating NZEs in CSR order (``csr_matvecs``); running the same loop
+per row block over absolute ``indptr`` slices of the *same* shared
+``cols``/``vals`` arrays performs the identical per-row instruction
+sequence, so block outputs match the serial sweep bit-for-bit.  SDDMM's
+per-edge dots are independent of batching, so contiguous NZE slices of
+the gathered einsum are likewise bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+try:  # scipy >= 1.8 private module (stable for a decade; guarded anyway)
+    from scipy.sparse import _sparsetools as _st
+except ImportError:  # pragma: no cover - ancient scipy
+    _st = None
+
+
+def csr_spmm_serial(A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.ndarray:
+    """``Y = A_w @ X`` over the memoized CSR structural view (one C loop)."""
+    import scipy.sparse as sp
+
+    indptr, cols, perm = A.csr_arrays()
+    data = np.asarray(edge_values, dtype=np.float64)
+    if perm is not None:
+        data = data[perm]
+    M = sp.csr_matrix((data, cols, indptr), shape=A.shape)
+    return M @ np.asarray(X)
+
+
+def sddmm_serial(A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """``W[e] = <X[row_e], Y[col_e]>`` in the caller's edge order."""
+    X, Y = np.asarray(X), np.asarray(Y)
+    return np.einsum("ef,ef->e", X[A.rows], Y[A.cols])
+
+
+def csr_block_spmm(
+    indptr: np.ndarray,
+    cols: np.ndarray,
+    data: np.ndarray,
+    X: np.ndarray,
+    out: np.ndarray,
+    row_start: int,
+    row_end: int,
+    nnz_start: int,
+    nnz_end: int,
+    num_cols: int,
+) -> None:
+    """Accumulate rows ``[row_start, row_end)`` of ``A_w @ X`` into ``out``.
+
+    ``out`` rows must be zero on entry (the C kernel accumulates).  The
+    ``indptr`` slice keeps its absolute values so ``cols``/``data`` stay
+    the full shared arrays — a zero-copy view of the block.
+    """
+    n_rows = row_end - row_start
+    y = out[row_start:row_end]
+    if n_rows <= 0:
+        return
+    if _st is not None:
+        if X.ndim == 1:
+            _st.csr_matvec(
+                n_rows, num_cols, indptr[row_start : row_end + 1], cols, data, X, y
+            )
+        else:
+            _st.csr_matvecs(
+                n_rows,
+                num_cols,
+                X.shape[1],
+                indptr[row_start : row_end + 1],
+                cols,
+                data,
+                X.ravel(),
+                y.ravel(),
+            )
+        return
+    # Fallback: rebase the indptr slice and let scipy build the block.
+    import scipy.sparse as sp  # pragma: no cover - exercised only w/o _sparsetools
+
+    block_ptr = indptr[row_start : row_end + 1].astype(np.int64) - nnz_start
+    M = sp.csr_matrix(
+        (data[nnz_start:nnz_end], cols[nnz_start:nnz_end], block_ptr),
+        shape=(n_rows, num_cols),
+    )
+    y[...] = M @ X
+
+
+def sddmm_block(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    X: np.ndarray,
+    Y: np.ndarray,
+    out: np.ndarray,
+    nnz_start: int,
+    nnz_end: int,
+) -> None:
+    """Fill edges ``[nnz_start, nnz_end)`` of the gathered-dot SDDMM."""
+    s = slice(nnz_start, nnz_end)
+    out[s] = np.einsum("ef,ef->e", X[rows[s]], Y[cols[s]])

@@ -26,9 +26,11 @@ Each invocation is two independent halves:
 (:mod:`repro.core.plancache`): a warm launch replays the cached
 :class:`CostReport`/trace and runs only the numerics, skipping Stage-1
 planning, scheduling, trace recording and ``estimate_cost`` entirely.
-The default :meth:`compute` recomputes via the reference numerics —
-bit-identical to every baseline's ``execute`` output — so baselines get
-the replay-cost/recompute-numerics treatment without per-kernel code.
+The default :meth:`compute` routes through the sharded execution engine
+(:mod:`repro.exec`) — serial and bit-identical to the reference
+numerics at the default ``REPRO_EXEC_WORKERS=1``, executed as
+concurrent row blocks on multi-core hosts — so baselines get the
+replay-cost/recompute-numerics treatment without per-kernel code.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ import numpy as np
 
 from repro import obs
 from repro.errors import FormatError, UnsupportedFormatError
+from repro.exec import get_engine
 from repro.gpusim.cost import CostReport, estimate_cost
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.trace import KernelTrace
@@ -186,7 +189,7 @@ class SpMMKernel(KernelCacheMixin, abc.ABC):
 
     def compute(self, A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.ndarray:
         """Pure numerics (no trace/cost work) — the warm-cache path."""
-        return reference_spmm(A, edge_values, X)
+        return get_engine().spmm(A, edge_values, X)
 
     @abc.abstractmethod
     def execute(
@@ -239,7 +242,7 @@ class SDDMMKernel(KernelCacheMixin, abc.ABC):
 
     def compute(self, A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         """Pure numerics (no trace/cost work) — the warm-cache path."""
-        return reference_sddmm(A, X, Y)
+        return get_engine().sddmm(A, X, Y)
 
     @abc.abstractmethod
     def execute(
@@ -293,7 +296,7 @@ class SpMVKernel(KernelCacheMixin, abc.ABC):
 
     def compute(self, A: COOMatrix, edge_values: np.ndarray, x: np.ndarray) -> np.ndarray:
         """Pure numerics (no trace/cost work) — the warm-cache path."""
-        return reference_spmv(A, edge_values, x)
+        return get_engine().spmv(A, edge_values, x)
 
     @abc.abstractmethod
     def execute(

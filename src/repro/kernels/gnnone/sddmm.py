@@ -50,8 +50,13 @@ class GnnOneSDDMM(SDDMMKernel):
 
     def compute(self, A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         # Numerics follow the caller's edge order (the trace uses the
-        # CSR-ordered view, which is cost-equivalent).
-        return gathered_dot_sddmm(A, X, Y)
+        # CSR-ordered view, which is cost-equivalent).  The engine
+        # shards the gathered dot over disjoint NZE ranges when
+        # REPRO_EXEC_WORKERS > 1; per-edge outputs keep it bit-identical
+        # to gathered_dot_sddmm.
+        from repro.exec import get_engine
+
+        return get_engine().sddmm(A, X, Y)
 
     def simulate(self, A: COOMatrix, F: int, device: DeviceSpec) -> KernelTrace:
         """Structural half: Stage-1 plan, schedule, and trace recording."""

@@ -51,19 +51,18 @@ def csr_replay_spmm(A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.
     """Warm-path numerics over the memoized CSR structural view.
 
     Same per-row, ascending-column accumulation as
-    :func:`segment_sum_spmm`, but runs in one fused scipy C loop instead
-    of materializing the ``|E| x F`` product matrix and reducing it per
-    segment.  ``segment_sum_spmm`` stays the validation-grade mirror of
-    the kernel arithmetic; the property suite pins the two together.
+    :func:`segment_sum_spmm`, but runs in fused scipy C loops instead of
+    materializing the ``|E| x F`` product matrix and reducing it per
+    segment.  Routed through the sharded execution engine
+    (:mod:`repro.exec`): serial at the default ``REPRO_EXEC_WORKERS=1``,
+    executed as concurrent NNZ-balanced row blocks (bit-identical — row
+    blocks never share an output row) on multi-core hosts.
+    ``segment_sum_spmm`` stays the validation-grade mirror of the kernel
+    arithmetic; the property suite pins the two together.
     """
-    import scipy.sparse as sp
+    from repro.exec import get_engine
 
-    indptr, cols, perm = A.csr_arrays()
-    data = np.asarray(edge_values, dtype=np.float64)
-    if perm is not None:
-        data = data[perm]
-    M = sp.csr_matrix((data, cols, indptr), shape=A.shape)
-    return M @ np.asarray(X)
+    return get_engine().spmm(A, edge_values, np.asarray(X, dtype=np.float64))
 
 
 class GnnOneSpMM(SpMMKernel):

@@ -84,3 +84,21 @@ class GraphData:
         if rows.size == 0:
             return np.zeros(0, dtype=np.int64)
         return np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
+
+    def warm(self) -> "GraphData":
+        """Materialize every value-independent structure before epoch 1.
+
+        Each of these is memoized and would be computed lazily on first
+        use anyway; forcing them up front keeps the lazy builds out of
+        the first epoch's timing and out of the execution engine's
+        worker threads (concurrent launches then only ever *read* the
+        memoized structures).  Idempotent and cheap to re-call.
+        """
+        _ = self.structure_token
+        self.coo.csr_arrays()
+        _ = self.transpose_perm
+        _ = self.coo_t.structure_token
+        self.coo_t.csr_arrays()
+        _ = self.row_boundaries
+        _ = self.degrees
+        return self

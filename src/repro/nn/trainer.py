@@ -113,6 +113,12 @@ class Trainer:
         backend = getattr(getattr(self.model, "backend", None), "name", None)
         with obs.span("train.fit", model=type(self.model).__name__,
                       backend=backend, epochs=epochs, device=self.device.name) as sp:
+            # Pre-build the memoized graph structures (CSR views,
+            # transpose, tokens) so epoch 1 measures kernel work, not
+            # lazy one-time preprocessing.
+            with obs.span("train.warm", vertices=self.graph.num_vertices,
+                          edges=self.graph.num_edges):
+                self.graph.warm()
             for epoch in range(epochs):
                 result.history.append(self.train_epoch(epoch))
             result.test_acc = self.evaluate("test")
