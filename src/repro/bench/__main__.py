@@ -51,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = experiment_ids() if args.experiment == "all" else (args.experiment,)
+    failures: list[tuple[str, dict]] = []
     with contextlib.ExitStack() as stack:
         if args.trace:
             stack.enter_context(obs.trace_to(args.trace))
@@ -59,8 +60,19 @@ def main(argv: list[str] | None = None) -> int:
             obs.event("experiment.result", experiment=exp_id, **result.to_dict())
             print(result.render())
             print()
+            failures.extend((exp_id, row) for row in result.failures())
     if args.metrics:
         obs.write_metrics_json(args.metrics)
+    if failures:
+        # Per-point failures never abort a sweep mid-grid; they are
+        # summarized here and turn the exit code non-zero at the end.
+        print(f"{len(failures)} sweep point(s) failed:", file=sys.stderr)
+        for exp_id, row in failures:
+            where = ", ".join(
+                f"{k}={row[k]}" for k in ("dataset", "dim") if k in row
+            )
+            print(f"  [{exp_id}] {where}: {row.get('error', '?')}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -28,6 +28,7 @@ def _point_row(point: tuple[str, int]) -> dict:
         if base == "sputnik" and base_us is None and ours is not None:
             cell = "ERR"
         row[base] = cell
+    row["status"] = "ok"
     return row
 
 
@@ -37,10 +38,17 @@ def run(*, quick: bool = False, feature_lengths=FEATURE_LENGTHS) -> ExperimentRe
     result = ExperimentResult(
         "fig03",
         "SDDMM: GNNOne speedup over prior works (x; 64 = baseline OOM, ERR = launch failure)",
-        ["dataset", "dim", "gnnone_us", *BASELINES],
+        ["dataset", "dim", "gnnone_us", *BASELINES, "status"],
     )
     grid = [(key, dim) for key in keys for dim in feature_lengths]
-    for row in sweep_points(_point_row, grid, label="bench.sweep.fig03"):
+    rows = sweep_points(
+        _point_row, grid, label="bench.sweep.fig03",
+        error_row=lambda p, e: {
+            "dataset": p[0], "dim": p[1],
+            "status": "error", "error": f"{type(e).__name__}: {e}",
+        },
+    )
+    for row in rows:
         result.add_row(**row)
     for base in BASELINES:
         gm = result.geomean(base)

@@ -24,6 +24,7 @@ def _point_row(point: tuple[str, int]) -> dict:
         row[base] = speedup_cell(
             time_spmm(base, key, dim), ours, oom_marker=SPMM_OOM_SPEEDUP
         )
+    row["status"] = "ok"
     return row
 
 
@@ -33,10 +34,17 @@ def run(*, quick: bool = False, feature_lengths=FEATURE_LENGTHS) -> ExperimentRe
     result = ExperimentResult(
         "fig04",
         "SpMM: GNNOne speedup over prior works (x; 256 = baseline OOM, OOM = everyone)",
-        ["dataset", "dim", "gnnone_us", *BASELINES],
+        ["dataset", "dim", "gnnone_us", *BASELINES, "status"],
     )
     grid = [(key, dim) for key in keys for dim in feature_lengths]
-    for row in sweep_points(_point_row, grid, label="bench.sweep.fig04"):
+    rows = sweep_points(
+        _point_row, grid, label="bench.sweep.fig04",
+        error_row=lambda p, e: {
+            "dataset": p[0], "dim": p[1],
+            "status": "error", "error": f"{type(e).__name__}: {e}",
+        },
+    )
+    for row in rows:
         result.add_row(**row)
     for base in BASELINES:
         result.notes.append(f"geomean speedup over {base}: {result.geomean(base):.2f}x")

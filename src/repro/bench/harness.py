@@ -77,7 +77,13 @@ def experiment_ids() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def sweep_points(fn: Callable, points: Iterable, *, label: str = "bench.sweep") -> list:
+def sweep_points(
+    fn: Callable,
+    points: Iterable,
+    *,
+    label: str = "bench.sweep",
+    error_row: Callable[[object, Exception], object] | None = None,
+) -> list:
     """Run independent sweep points, concurrently when the engine allows.
 
     ``fn(point)`` is applied to every point through
@@ -86,11 +92,31 @@ def sweep_points(fn: Callable, points: Iterable, *, label: str = "bench.sweep") 
     enclosing span records the effective worker count alongside the
     grid size; each point's own ``bench.*`` span is emitted from the
     worker thread with correct parent linkage.
+
+    With ``error_row``, a point that raises no longer aborts the sweep:
+    the exception is recorded (``bench.point_failures`` counter and a
+    ``bench.point_error`` obs event) and ``error_row(point, exc)``
+    supplies the row that takes its place, so the rest of the grid
+    still runs and the failure is visible in the figure instead of
+    killing it.  Without ``error_row`` the exception propagates as
+    before.
     """
     points = list(points)
     engine = get_engine()
+
+    def guarded(point):
+        try:
+            return fn(point)
+        except Exception as e:  # noqa: BLE001 - recorded, surfaced in the row
+            if error_row is None:
+                raise
+            obs.get_metrics().counter("bench.point_failures").inc()
+            obs.event("bench.point_error", label=label, point=repr(point),
+                      error=f"{type(e).__name__}: {e}")
+            return error_row(point, e)
+
     with obs.span(label, points=len(points), workers=engine.workers):
-        return engine.map(fn, points, label=label)
+        return engine.map(guarded, points, label=label)
 
 
 def kernel_fits(kernel, spec: DatasetSpec, feature_length: int, device: DeviceSpec) -> bool:

@@ -45,6 +45,10 @@ class ExperimentResult:
         vals = vals[vals > 0]
         return float(np.exp(np.log(vals).mean())) if vals.size else float("nan")
 
+    def failures(self) -> list[dict[str, Any]]:
+        """Rows recorded as per-point failures (``status == "error"``)."""
+        return [row for row in self.rows if row.get("status") == "error"]
+
     def render(self) -> str:
         return render_table(
             f"[{self.experiment_id}] {self.title}", self.columns, self.rows, self.notes

@@ -36,16 +36,28 @@ a kernel launch.
 
 Disable with ``REPRO_PLAN_CACHE=0`` (debugging the simulation pipeline)
 or programmatically via :func:`set_plan_cache_enabled`.
+
+Integrity: when ``REPRO_VALIDATE=full`` — or whenever the fault
+injector's ``plancache.poison`` site is armed — every stored entry
+carries a content checksum that ``lookup`` re-verifies; a mismatch
+invalidates the entry, counts ``resilience.plan_invalidated`` and
+falls through to a miss so the caller recomputes from the real
+pipeline instead of replaying corrupted state.  At the default
+validation level the checksum machinery is entirely skipped, keeping
+the warm path at one dict probe.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro import obs
 from repro.gpusim.cost import CostReport
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.trace import KernelTrace
@@ -88,6 +100,38 @@ class CachedLaunch:
 PlanKey = tuple[str, Hashable, str, int, DeviceSpec]
 
 
+def _entry_checksum(entry: object) -> int | None:
+    """CRC32 of the pickled entry; ``None`` when it cannot be fingerprinted."""
+    try:
+        return zlib.crc32(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable custom entry: integrity check unavailable
+        return None
+
+
+def _integrity_checks_active() -> bool:
+    """Checksum entries only when someone can observe the verification.
+
+    ``REPRO_VALIDATE=full`` opts in explicitly; an armed
+    ``plancache.poison`` fault site implies a chaos run that must be
+    able to detect its own corruption.  Imported lazily to keep the
+    default lookup path free of any resilience machinery.
+    """
+    from repro.resilience import faults, validation
+
+    return (
+        validation.validation_level() == "full"
+        or faults.get_injector().armed("plancache.poison")
+    )
+
+
+@dataclass
+class _Slot:
+    """Internal cache slot: the entry plus its stored content checksum."""
+
+    entry: object
+    checksum: int | None = None
+
+
 class PlanCache:
     """LRU map from structural launch keys to cached cost/trace pairs.
 
@@ -103,43 +147,76 @@ class PlanCache:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[PlanKey, CachedLaunch]" = OrderedDict()
+        self._entries: "OrderedDict[PlanKey, _Slot]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def lookup(self, key: PlanKey) -> CachedLaunch | None:
-        """Fetch a cached launch, counting the hit/miss in ``repro.obs``."""
+        """Fetch a cached launch, counting the hit/miss in ``repro.obs``.
+
+        When integrity checks are active the entry's content checksum is
+        re-verified first; a corrupted slot is invalidated and reported
+        as a miss, so the caller transparently recomputes.
+        """
         metrics = get_metrics()
+        verify = _integrity_checks_active()
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
+            slot = self._entries.get(key)
+            if slot is not None and verify and slot.checksum is not None:
+                from repro.resilience import faults
+
+                if faults.get_injector().fire("plancache.poison", kind=key[2]):
+                    slot.checksum ^= 0xFFFFFFFF  # simulated bit-rot
+                if _entry_checksum(slot.entry) != slot.checksum:
+                    del self._entries[key]
+                    self.invalidations += 1
+                    slot = None
+                    metrics.counter("resilience.plan_invalidated").inc()
+                    obs.event("resilience.plan_invalidated", kind=key[2],
+                              reason="checksum-mismatch")
+            if slot is None:
                 self.misses += 1
                 metrics.counter("plancache.miss").inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             metrics.counter("plancache.hit").inc()
-            return entry
+            return slot.entry
 
     def store(self, key: PlanKey, entry: CachedLaunch) -> None:
+        checksum = _entry_checksum(entry) if _integrity_checks_active() else None
         with self._lock:
-            self._entries[key] = entry
+            self._entries[key] = _Slot(entry, checksum)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
             size = len(self._entries)
         get_metrics().gauge("plancache.size").set(size)
 
+    def invalidate(self, key: PlanKey) -> bool:
+        """Drop one entry (e.g. a shard plan that failed validation)."""
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self.invalidations += 1
+        if present:
+            get_metrics().counter("resilience.plan_invalidated").inc()
+            obs.event("resilience.plan_invalidated", kind=key[2],
+                      reason="explicit")
+        return present
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.invalidations = 0
 
     @property
     def hit_rate(self) -> float:
@@ -157,6 +234,7 @@ class PlanCache:
                 if (self.hits + self.misses)
                 else 0.0,
                 "plancache_size": len(self._entries),
+                "plancache_invalidations": self.invalidations,
             }
 
 

@@ -49,3 +49,40 @@ class ConfigError(ReproError):
 
 class BenchmarkError(ReproError):
     """An experiment harness failure (unknown experiment id, bad sweep...)."""
+
+
+class GraphValidationError(FormatError):
+    """A graph failed the validation boundary (:mod:`repro.resilience`).
+
+    Subclasses :class:`FormatError` so callers that guarded the old
+    constructor-time checks keep working; carries the offending edge
+    index (or row/feature position) when one can be pinpointed.
+    """
+
+    def __init__(self, message: str, *, edge_index: int | None = None):
+        super().__init__(message)
+        self.edge_index = edge_index
+
+
+class ResilienceError(ReproError):
+    """Base class for recoverable-execution failures (:mod:`repro.resilience`)."""
+
+
+class FaultInjectedError(ResilienceError):
+    """An error raised deliberately by the fault injector (chaos testing)."""
+
+
+class ShardStallError(ResilienceError):
+    """A shard exceeded its execution deadline (stalled worker)."""
+
+
+class ShardExecutionError(ResilienceError):
+    """A shard kept failing after its bounded retry budget was spent."""
+
+
+class PlanCacheCorruptionError(ResilienceError):
+    """A plan-cache entry failed its integrity check (checksum mismatch)."""
+
+
+class TrainingDivergedError(ResilienceError):
+    """Training produced a non-finite loss that checkpoint rollback could not cure."""

@@ -22,6 +22,16 @@ fan-out overhead would dominate.  The engine also exposes
 bench harness runs independent ``(dataset, F)`` points through it);
 nested parallelism from inside a worker thread degrades to serial, so
 sweep-level and shard-level parallelism compose without deadlock.
+
+Resilience (:mod:`repro.resilience`): each shard gets a bounded retry
+budget (``REPRO_EXEC_RETRIES``, exponential backoff on stalls and
+worker exceptions); a shard that exhausts it — or a sharded output
+that fails the finite-value guard — degrades the *launch* to the exact
+serial numerics, which stay bit-identical to the fault-free run.
+Repeated launch failures mark the pool unhealthy and route every
+subsequent launch serially until :meth:`ExecutionEngine.reset_health`.
+Every recovery emits ``resilience.retry`` / ``resilience.degraded``
+counters and obs events, so chaos runs are auditable from the trace.
 """
 
 from __future__ import annotations
@@ -30,15 +40,17 @@ import contextlib
 import contextvars
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ShardExecutionError
 from repro.exec import numerics
 from repro.exec.sharding import RowBlock, ShardPlan, edge_range_bounds, row_shard_plan
+from repro.resilience import faults, validation
 from repro.sparse.coo import COOMatrix
 
 T = TypeVar("T")
@@ -46,10 +58,22 @@ R = TypeVar("R")
 
 _ENV_WORKERS = "REPRO_EXEC_WORKERS"
 _ENV_MIN_NNZ = "REPRO_EXEC_MIN_NNZ"
+_ENV_RETRIES = "REPRO_EXEC_RETRIES"
 
 #: below this NZE count a launch stays serial (fan-out costs ~10us per
 #: shard; a 4k-NZE SpMM's numerics are in the same ballpark)
 DEFAULT_MIN_PARALLEL_NNZ = 4096
+
+#: per-shard attempts beyond the first (bounded retry budget)
+DEFAULT_RETRIES = 2
+
+#: base backoff before a shard retry; doubles per attempt, capped below
+RETRY_BACKOFF_S = 0.001
+RETRY_BACKOFF_MAX_S = 0.05
+
+#: consecutive failed parallel launches before the pool is deemed
+#: unhealthy and everything degrades to serial until reset_health()
+UNHEALTHY_AFTER = 3
 
 
 def _env_int(name: str, default: int) -> int:
@@ -139,10 +163,14 @@ class ExecutionEngine:
             if min_parallel_nnz is None
             else int(min_parallel_nnz)
         )
+        self.max_attempts = 1 + _env_int(_ENV_RETRIES, DEFAULT_RETRIES)
         self.pool = BufferPool()
         self._executor: ThreadPoolExecutor | None = None
         self._executor_lock = threading.Lock()
         self._tls = threading.local()
+        self._health_lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._unhealthy = False
         obs.get_metrics().gauge("exec.workers").set(self.workers)
 
     # ------------------------------------------------------------- pool
@@ -171,7 +199,45 @@ class ExecutionEngine:
         self.pool.clear()
 
     def _parallel_ok(self, nnz: int) -> bool:
-        return self.workers > 1 and nnz >= self.min_parallel_nnz and not self._in_worker()
+        return (
+            self.workers > 1
+            and nnz >= self.min_parallel_nnz
+            and not self._in_worker()
+            and not self._unhealthy
+        )
+
+    # ------------------------------------------------------------ health
+    @property
+    def healthy(self) -> bool:
+        """False once repeated launch failures benched the worker pool."""
+        return not self._unhealthy
+
+    def reset_health(self) -> None:
+        """Forgive past failures and re-enable parallel execution."""
+        with self._health_lock:
+            self._consecutive_failures = 0
+            self._unhealthy = False
+
+    def _record_launch_failure(self) -> None:
+        with self._health_lock:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= UNHEALTHY_AFTER and not self._unhealthy:
+                self._unhealthy = True
+                obs.get_metrics().counter("resilience.pool_unhealthy").inc()
+                obs.event(
+                    "resilience.pool_unhealthy",
+                    consecutive_failures=self._consecutive_failures,
+                )
+
+    def _record_launch_success(self) -> None:
+        with self._health_lock:
+            self._consecutive_failures = 0
+
+    def _degrade(self, kind: str, reason: str) -> None:
+        """Account one launch-level degrade-to-serial recovery."""
+        self._record_launch_failure()
+        obs.get_metrics().counter("resilience.degraded").inc()
+        obs.event("resilience.degraded", kind=kind, reason=reason)
 
     # ---------------------------------------------------------- kernels
     def spmm(self, A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.ndarray:
@@ -202,6 +268,13 @@ class ExecutionEngine:
         data = np.asarray(edge_values, dtype=np.float64)
         if perm is not None:
             data = data[perm]
+        injector = faults.get_injector()
+        if injector.enabled and injector.fire("exec.value_nan", kind=kind):
+            # Corrupt a *scratch copy* of the edge values: the sharded
+            # result will carry the NaN, the finite-output guard below
+            # catches it, and the serial recompute uses the originals.
+            data = np.array(data, dtype=np.float64)
+            data[injector.value_index("exec.value_nan", data.shape[0])] = np.nan
         Xc = np.ascontiguousarray(X)
         shape = (A.num_rows,) if Xc.ndim == 1 else (A.num_rows, Xc.shape[1])
         out = self.pool.acquire(shape, zero=True)
@@ -212,7 +285,20 @@ class ExecutionEngine:
                 b.row_start, b.row_end, b.nnz_start, b.nnz_end, A.num_cols,
             )
 
-        self._run_blocks(kind, plan, blocks, block_fn)
+        def block_reset(b: RowBlock) -> None:
+            out[b.row_start : b.row_end] = 0.0
+
+        try:
+            self._run_blocks(kind, plan, blocks, block_fn, block_reset)
+        except ShardExecutionError as e:
+            self._degrade(kind, f"shard-failure: {e}")
+            self.pool.release(out)
+            return numerics.csr_spmm_serial(A, edge_values, X)
+        if self._needs_output_guard(injector) and not validation.check_finite_output(out):
+            self._degrade(kind, "non-finite-output")
+            self.pool.release(out)
+            return numerics.csr_spmm_serial(A, edge_values, X)
+        self._record_launch_success()
         return out
 
     def sddmm(self, A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
@@ -239,13 +325,31 @@ class ExecutionEngine:
         if len(blocks) <= 1:
             obs.get_metrics().counter("exec.launch.serial").inc()
             return numerics.sddmm_serial(A, X, Y)
+        injector = faults.get_injector()
+        Xs = X
+        if injector.enabled and injector.fire("exec.value_nan", kind="sddmm"):
+            # Corrupt a scratch copy of one gathered operand row; the
+            # finite-output guard recovers with the pristine originals.
+            Xs = np.array(X, dtype=np.float64)
+            edge = injector.value_index("exec.value_nan", A.nnz)
+            Xs[int(A.rows[edge]), 0] = np.nan
         out = self.pool.acquire((A.nnz,), zero=False)
         rows, cols = A.rows, A.cols
 
         def block_fn(b: RowBlock) -> None:
-            numerics.sddmm_block(rows, cols, X, Y, out, b.nnz_start, b.nnz_end)
+            numerics.sddmm_block(rows, cols, Xs, Y, out, b.nnz_start, b.nnz_end)
 
-        self._run_blocks("sddmm", plan, blocks, block_fn)
+        try:
+            self._run_blocks("sddmm", plan, blocks, block_fn, None)
+        except ShardExecutionError as e:
+            self._degrade("sddmm", f"shard-failure: {e}")
+            self.pool.release(out)
+            return numerics.sddmm_serial(A, X, Y)
+        if self._needs_output_guard(injector) and not validation.check_finite_output(out):
+            self._degrade("sddmm", "non-finite-output")
+            self.pool.release(out)
+            return numerics.sddmm_serial(A, X, Y)
+        self._record_launch_success()
         return out
 
     def release(self, buf: np.ndarray) -> bool:
@@ -253,12 +357,19 @@ class ExecutionEngine:
         return self.pool.release(buf)
 
     # ----------------------------------------------------------- fanout
+    def _needs_output_guard(self, injector: faults.FaultInjector) -> bool:
+        """Scan sharded outputs for NaN/Inf only when someone may have
+        planted them (armed injector) or the user asked for paranoia
+        (``REPRO_VALIDATE=full``) — the scan is O(output)."""
+        return injector.armed("exec.value_nan") or validation.validation_level() == "full"
+
     def _run_blocks(
         self,
         kind: str,
         plan: ShardPlan | None,
         blocks: Sequence[RowBlock],
         block_fn: Callable[[RowBlock], None],
+        block_reset: Callable[[RowBlock], None] | None = None,
     ) -> None:
         metrics = obs.get_metrics()
         metrics.counter("exec.launch.parallel").inc()
@@ -272,17 +383,66 @@ class ExecutionEngine:
             futures = []
             for b in blocks:
                 ctx = contextvars.copy_context()
-                futures.append(executor.submit(ctx.run, self._run_shard, kind, b, block_fn))
+                futures.append(
+                    executor.submit(
+                        ctx.run, self._run_shard, kind, b, block_fn, block_reset
+                    )
+                )
+            # Drain every future before surfacing a failure: a straggler
+            # shard must never keep writing into a buffer the caller has
+            # already released back to the pool.
+            errors: list[BaseException] = []
             for f in futures:
-                f.result()
+                try:
+                    f.result()
+                except Exception as e:  # noqa: BLE001 - collected, re-raised below
+                    errors.append(e)
+            if errors:
+                raise errors[0]
 
-    def _run_shard(self, kind: str, block: RowBlock, block_fn) -> None:
-        with obs.span(
-            "exec.shard", kind=kind, shard=block.index,
-            rows=block.num_rows, nnz=block.nnz,
-            worker=threading.current_thread().name,
-        ):
-            block_fn(block)
+    def _run_shard(self, kind: str, block: RowBlock, block_fn, block_reset) -> None:
+        """One shard with a bounded retry budget and exponential backoff.
+
+        Injected faults consume a fresh injector occurrence per attempt,
+        so transient failures clear on retry exactly like flaky real
+        workers; a shard that fails every attempt raises
+        :class:`ShardExecutionError` and the launch degrades to serial.
+        """
+        injector = faults.get_injector()
+        metrics = obs.get_metrics()
+        last_error: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                with obs.span(
+                    "exec.shard", kind=kind, shard=block.index,
+                    rows=block.num_rows, nnz=block.nnz, attempt=attempt,
+                    worker=threading.current_thread().name,
+                ):
+                    if injector.enabled:
+                        injector.maybe_raise(
+                            "exec.worker_raise", kind=kind, shard=block.index
+                        )
+                        injector.maybe_stall(
+                            "exec.shard_stall", kind=kind, shard=block.index
+                        )
+                    block_fn(block)
+                return
+            except Exception as e:  # noqa: BLE001 - bounded retry, then typed raise
+                last_error = e
+                if attempt + 1 >= self.max_attempts:
+                    break
+                metrics.counter("resilience.retry").inc()
+                obs.event(
+                    "resilience.retry", kind=kind, shard=block.index,
+                    attempt=attempt, error=type(e).__name__,
+                )
+                if block_reset is not None:
+                    block_reset(block)
+                time.sleep(min(RETRY_BACKOFF_S * 2**attempt, RETRY_BACKOFF_MAX_S))
+        raise ShardExecutionError(
+            f"shard {block.index} ({kind}) failed after "
+            f"{self.max_attempts} attempts: {last_error}"
+        ) from last_error
 
     def map(
         self,

@@ -102,6 +102,27 @@ def build_row_shard_plan(A: COOMatrix, n_workers: int) -> ShardPlan:
     return ShardPlan(n_workers=n_workers, row_starts=row_starts, nnz_starts=nnz_starts)
 
 
+def plan_is_valid(plan: ShardPlan, A: COOMatrix) -> bool:
+    """Does the plan still describe a disjoint cover of ``A``'s rows?
+
+    Cheap (the boundary arrays have ~``n_workers`` entries), so every
+    cache hit is re-checked before the engine trusts a plan with
+    disjoint-slice writes into a shared output buffer — a corrupted
+    boundary would silently double-accumulate or drop rows.
+    """
+    rs, ns = plan.row_starts, plan.nnz_starts
+    if len(rs) < 2 or len(ns) != len(rs):
+        return False
+    if rs[0] != 0 or rs[-1] != A.num_rows:
+        return False
+    if np.any(np.diff(rs) < 0) or np.any(np.diff(ns) < 0):
+        return False
+    if ns[0] != 0 or ns[-1] != A.nnz:
+        return False
+    indptr, _, _ = A.csr_arrays()
+    return bool(np.array_equal(np.asarray(indptr, dtype=np.int64)[rs], ns))
+
+
 def _shard_key(A: COOMatrix, n_workers: int):
     # Same 5-tuple shape as plancache.PlanKey; the device slot is unused
     # (host-side sharding) and the kind tag keeps shard plans from ever
@@ -110,8 +131,15 @@ def _shard_key(A: COOMatrix, n_workers: int):
 
 
 def row_shard_plan(A: COOMatrix, n_workers: int) -> ShardPlan:
-    """Memoized shard plan: consults the structural plan cache first."""
+    """Memoized shard plan: consults the structural plan cache first.
+
+    Cached plans are re-validated against the topology before use; a
+    corrupted plan (bit-rot, or the fault injector's
+    ``shard.plan_corrupt`` site) is invalidated and rebuilt from the
+    CSR view, so a poisoned cache can never mis-shard a launch.
+    """
     from repro.core import plancache  # lazy: avoids package import cycle
+    from repro.resilience import faults
 
     if not plancache.plan_cache_enabled():
         return build_row_shard_plan(A, n_workers)
@@ -119,7 +147,17 @@ def row_shard_plan(A: COOMatrix, n_workers: int) -> ShardPlan:
     key = _shard_key(A, n_workers)
     hit = cache.lookup(key)
     if hit is not None:
-        return hit
+        injector = faults.get_injector()
+        if (
+            injector.enabled
+            and len(hit.row_starts) > 2
+            and injector.fire("shard.plan_corrupt", n_workers=n_workers)
+        ):
+            # Simulated bit-rot: shift an interior boundary out of place.
+            hit.row_starts[1] = hit.row_starts[-1] + 1
+        if plan_is_valid(hit, A):
+            return hit
+        cache.invalidate(key)
     plan = build_row_shard_plan(A, n_workers)
     cache.store(key, plan)
     return plan

@@ -44,6 +44,7 @@ import numpy as np
 from repro import obs
 from repro.errors import FormatError, UnsupportedFormatError
 from repro.exec import get_engine
+from repro.resilience.validation import ensure_structure_validated
 from repro.gpusim.cost import CostReport, estimate_cost
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.gpusim.trace import KernelTrace
@@ -164,6 +165,7 @@ class SpMMKernel(KernelCacheMixin, abc.ABC):
         device: DeviceSpec | str | None = None,
     ) -> KernelResult:
         validate_spmm_inputs(A, edge_values, X)
+        ensure_structure_validated(A)
         dev = get_device(device)
         edge_values = np.asarray(edge_values, dtype=np.float64)
         X = np.asarray(X, dtype=np.float64)
@@ -218,6 +220,7 @@ class SDDMMKernel(KernelCacheMixin, abc.ABC):
         device: DeviceSpec | str | None = None,
     ) -> KernelResult:
         validate_sddmm_inputs(A, X, Y)
+        ensure_structure_validated(A)
         dev = get_device(device)
         X = np.asarray(X, dtype=np.float64)
         Y = np.asarray(Y, dtype=np.float64)
@@ -271,6 +274,7 @@ class SpMVKernel(KernelCacheMixin, abc.ABC):
         device: DeviceSpec | str | None = None,
     ) -> KernelResult:
         validate_spmv_inputs(A, edge_values, x)
+        ensure_structure_validated(A)
         dev = get_device(device)
         edge_values = np.asarray(edge_values, dtype=np.float64)
         x = np.asarray(x, dtype=np.float64)

@@ -12,6 +12,8 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
+from repro.resilience.validation import ValidationReport, validate_graph
 from repro.sparse.convert import add_self_loops
 from repro.sparse.coo import COOMatrix
 
@@ -85,15 +87,32 @@ class GraphData:
             return np.zeros(0, dtype=np.int64)
         return np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
 
-    def warm(self) -> "GraphData":
+    def validate(self, features: np.ndarray | None = None) -> ValidationReport:
+        """Run the resilience validation census on the training topology.
+
+        Raises :class:`~repro.errors.GraphValidationError` on a contract
+        violation; otherwise returns the census (duplicate edges, empty
+        rows, ordering) and emits it as a ``resilience.validated`` obs
+        event so traces record what entered the training loop.
+        """
+        report = validate_graph(self.coo, features).raise_if_invalid()
+        obs.get_metrics().counter("resilience.graphs_validated").inc()
+        obs.event("resilience.validated", **report.to_dict())
+        return report
+
+    def warm(self, features: np.ndarray | None = None) -> "GraphData":
         """Materialize every value-independent structure before epoch 1.
 
         Each of these is memoized and would be computed lazily on first
         use anyway; forcing them up front keeps the lazy builds out of
         the first epoch's timing and out of the execution engine's
         worker threads (concurrent launches then only ever *read* the
-        memoized structures).  Idempotent and cheap to re-call.
+        memoized structures).  Idempotent and cheap to re-call.  The
+        validation boundary runs here too: a malformed topology (or a
+        non-finite value in ``features``, when given) fails with a
+        typed error before any kernel launches.
         """
+        self.validate(features)
         _ = self.structure_token
         self.coo.csr_arrays()
         _ = self.transpose_perm

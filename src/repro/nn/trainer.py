@@ -5,15 +5,25 @@ every kernel charges its simulated time to a :class:`SimClock`; since
 the simulated time of an epoch is deterministic, end-to-end "200 epoch"
 times (Figs 6-7) are ``epochs * mean(epoch_us)`` without running all
 200 numerically.
+
+Resilience (:mod:`repro.resilience`): ``fit`` can checkpoint every
+epoch to a directory and resume from the latest checkpoint, and a
+NaN/Inf loss guard rolls the model/optimizer back to the last good
+state and replays the epoch (training is deterministic, so a replay
+after a transient corruption reproduces the uninterrupted trajectory
+bit-for-bit); a loss that stays non-finite after the bounded rollback
+budget raises :class:`~repro.errors.TrainingDivergedError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro import obs
+from repro.errors import TrainingDivergedError
 from repro.gpusim.device import DeviceSpec, get_device
 from repro.nn import functional as F
 from repro.nn.clock import SimClock, simulate
@@ -22,6 +32,11 @@ from repro.nn.graph import GraphData
 from repro.nn.modules import Module
 from repro.nn.optim import Adam, Optimizer
 from repro.nn.tensor import Tensor
+from repro.resilience.checkpoint import CheckpointManager, TrainSnapshot
+from repro.resilience.faults import get_injector
+
+#: epoch replays the NaN/Inf loss guard may spend before giving up
+MAX_ROLLBACKS = 2
 
 
 @dataclass
@@ -108,19 +123,90 @@ class Trainer:
         self.model.train()
         return F.accuracy(logits.data, self.data.labels, mask)
 
-    def fit(self, epochs: int) -> TrainResult:
+    def _restore_checkpoint(
+        self, manager: CheckpointManager, result: TrainResult
+    ) -> int:
+        """Resume from the latest checkpoint; returns the next epoch."""
+        loaded = manager.load_latest()
+        if loaded is None:
+            return 0
+        snapshot, history = loaded
+        snapshot.restore(self.model, self.optimizer)
+        result.history = [EpochRecord(**rec) for rec in history]
+        obs.get_metrics().counter("resilience.checkpoint_restore").inc()
+        obs.event("resilience.checkpoint_restore", epoch=snapshot.epoch,
+                  reason="resume", directory=str(manager.directory))
+        return snapshot.epoch + 1
+
+    def fit(
+        self,
+        epochs: int,
+        *,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        nan_guard: bool = True,
+    ) -> TrainResult:
+        """Train for ``epochs`` epochs (possibly resuming mid-run).
+
+        With ``checkpoint_dir``, model + optimizer state land on disk
+        every ``checkpoint_every`` epochs and ``resume=True`` continues
+        from the latest checkpoint, reproducing the uninterrupted loss
+        trajectory exactly.  ``nan_guard`` (on by default) rolls back to
+        the last good state and replays the epoch when a loss comes out
+        NaN/Inf, raising :class:`TrainingDivergedError` once the replay
+        budget (``MAX_ROLLBACKS``) is spent.
+        """
         result = TrainResult()
+        manager = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+        injector = get_injector()
         backend = getattr(getattr(self.model, "backend", None), "name", None)
         with obs.span("train.fit", model=type(self.model).__name__,
                       backend=backend, epochs=epochs, device=self.device.name) as sp:
             # Pre-build the memoized graph structures (CSR views,
             # transpose, tokens) so epoch 1 measures kernel work, not
-            # lazy one-time preprocessing.
+            # lazy one-time preprocessing; the validation boundary runs
+            # here (topology contract + finite input features).
             with obs.span("train.warm", vertices=self.graph.num_vertices,
                           edges=self.graph.num_edges):
-                self.graph.warm()
-            for epoch in range(epochs):
-                result.history.append(self.train_epoch(epoch))
+                self.graph.warm(self.data.features)
+            start_epoch = 0
+            if resume and manager is not None:
+                start_epoch = self._restore_checkpoint(manager, result)
+            epoch = start_epoch
+            rollbacks = 0
+            while epoch < epochs:
+                snapshot = (
+                    TrainSnapshot.capture(epoch, self.model, self.optimizer)
+                    if nan_guard
+                    else None
+                )
+                record = self.train_epoch(epoch)
+                if injector.enabled and injector.fire("train.loss_corrupt",
+                                                      epoch=epoch):
+                    record.loss = float("nan")
+                if nan_guard and not math.isfinite(record.loss):
+                    rollbacks += 1
+                    if rollbacks > MAX_ROLLBACKS:
+                        raise TrainingDivergedError(
+                            f"loss stayed non-finite at epoch {epoch} after "
+                            f"{MAX_ROLLBACKS} rollback(s)"
+                        )
+                    snapshot.restore(self.model, self.optimizer)
+                    obs.get_metrics().counter("resilience.checkpoint_restore").inc()
+                    obs.event("resilience.checkpoint_restore", epoch=epoch,
+                              reason="nan-loss-rollback", attempt=rollbacks)
+                    continue  # replay the epoch from the restored state
+                rollbacks = 0
+                result.history.append(record)
+                if manager is not None and (
+                    epoch % max(1, checkpoint_every) == 0 or epoch == epochs - 1
+                ):
+                    manager.save(
+                        TrainSnapshot.capture(epoch, self.model, self.optimizer),
+                        [asdict(r) for r in result.history],
+                    )
+                epoch += 1
             result.test_acc = self.evaluate("test")
             if result.history:
                 # Steady-state epoch time (first epoch may include one-time

@@ -25,14 +25,17 @@ Tracing is off (and free) until a sink is installed::
 """
 
 from repro.obs.analysis import (
+    RESILIENCE_EVENTS,
     DiffRow,
     KeySummary,
     RunDiff,
     diff_runs,
     format_diff,
     format_plan_cache_line,
+    format_resilience_line,
     format_summary,
     plan_cache_summary,
+    resilience_summary,
     span_key,
     summarize,
 )
@@ -70,8 +73,11 @@ __all__ = [
     "diff_runs",
     "format_diff",
     "format_plan_cache_line",
+    "format_resilience_line",
     "format_summary",
     "plan_cache_summary",
+    "resilience_summary",
+    "RESILIENCE_EVENTS",
     "span_key",
     "summarize",
     "JsonlWriter",

@@ -19,8 +19,10 @@ from repro.obs.analysis import (
     diff_runs,
     format_diff,
     format_plan_cache_line,
+    format_resilience_line,
     format_summary,
     plan_cache_summary,
+    resilience_summary,
     summarize,
 )
 from repro.obs.export import read_trace, render_tree
@@ -61,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
             records = read_trace(args.trace)
             print(format_summary(summarize(records)))
             print(format_plan_cache_line(*plan_cache_summary(records)))
+            print(format_resilience_line(resilience_summary(records)))
             return 0
         if args.command == "tree":
             print(render_tree(read_trace(args.trace), max_depth=args.max_depth))

@@ -104,6 +104,52 @@ def format_plan_cache_line(warm: int, total: int) -> str:
     )
 
 
+#: resilience event names counted by :func:`resilience_summary`, in the
+#: order the summary line reports them.
+RESILIENCE_EVENTS = (
+    "resilience.fault_injected",
+    "resilience.retry",
+    "resilience.degraded",
+    "resilience.plan_invalidated",
+    "resilience.checkpoint_save",
+    "resilience.checkpoint_restore",
+    "resilience.pool_unhealthy",
+)
+
+
+def resilience_summary(records: Iterable[JsonDict]) -> dict[str, int]:
+    """Count fault/recovery events in a trace, by event name.
+
+    Every recovery path (:mod:`repro.resilience`) emits an obs event;
+    folding them out of the trace makes a chaos run auditable from the
+    same file the regression diffs read.
+    """
+    counts = dict.fromkeys(RESILIENCE_EVENTS, 0)
+    for rec in records:
+        name = rec.get("name")
+        if rec.get("type") == "event" and name in counts:
+            counts[name] += 1
+    return counts
+
+
+def format_resilience_line(counts: dict[str, int]) -> str:
+    """Human-readable fault/recovery footer for ``summary``."""
+    if not any(counts.values()):
+        return "resilience: no faults injected, no recoveries in trace"
+    parts = [
+        f"{counts['resilience.fault_injected']} fault(s) injected",
+        f"{counts['resilience.retry']} shard retry(ies)",
+        f"{counts['resilience.degraded']} degrade(s)-to-serial",
+        f"{counts['resilience.plan_invalidated']} plan invalidation(s)",
+        f"{counts['resilience.checkpoint_restore']} checkpoint restore(s)",
+    ]
+    if counts["resilience.checkpoint_save"]:
+        parts.append(f"{counts['resilience.checkpoint_save']} checkpoint save(s)")
+    if counts["resilience.pool_unhealthy"]:
+        parts.append(f"{counts['resilience.pool_unhealthy']} pool bench(es)")
+    return "resilience: " + ", ".join(parts)
+
+
 @dataclass
 class DiffRow:
     key: str

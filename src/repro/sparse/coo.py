@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import FormatError, GraphValidationError
 from repro.utils.validation import check_array
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,12 +63,25 @@ class COOMatrix:
         if self.num_rows < 0 or self.num_cols < 0:
             raise FormatError("matrix dimensions must be non-negative")
         if self.nnz:
-            if self.rows.min(initial=0) < 0 or self.cols.min(initial=0) < 0:
-                raise FormatError("negative indices")
-            if self.rows.max(initial=-1) >= self.num_rows:
-                raise FormatError("row index out of range")
-            if self.cols.max(initial=-1) >= self.num_cols:
-                raise FormatError("column index out of range")
+            # Validate eagerly at the construction boundary — a bad index
+            # that once surfaced as an IndexError deep inside a scipy
+            # call now names the offending edge up front.
+            bad = (self.rows < 0) | (self.rows >= self.num_rows)
+            if bad.any():
+                e = int(np.argmax(bad))
+                raise GraphValidationError(
+                    f"row index {int(self.rows[e])} out of range "
+                    f"[0, {self.num_rows}) at edge {e}",
+                    edge_index=e,
+                )
+            bad = (self.cols < 0) | (self.cols >= self.num_cols)
+            if bad.any():
+                e = int(np.argmax(bad))
+                raise GraphValidationError(
+                    f"column index {int(self.cols[e])} out of range "
+                    f"[0, {self.num_cols}) at edge {e}",
+                    edge_index=e,
+                )
 
     # ------------------------------------------------------------------
     @property

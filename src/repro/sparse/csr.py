@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import FormatError
+from repro.errors import FormatError, GraphValidationError
 from repro.utils.validation import check_array
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,13 +38,26 @@ class CSRMatrix:
                 f"indptr length {self.indptr.shape[0]} != num_rows+1 ({self.num_rows + 1})"
             )
         if self.indptr[0] != 0 or self.indptr[-1] != self.indices.shape[0]:
-            raise FormatError("indptr must start at 0 and end at nnz")
-        if np.any(np.diff(self.indptr) < 0):
-            raise FormatError("indptr must be non-decreasing")
-        if self.indices.size and (
-            self.indices.min() < 0 or self.indices.max() >= self.num_cols
-        ):
-            raise FormatError("column index out of range")
+            raise GraphValidationError(
+                f"indptr must start at 0 and end at nnz ({self.indices.shape[0]}), "
+                f"got [{int(self.indptr[0])}, ..., {int(self.indptr[-1])}]"
+            )
+        drops = np.diff(self.indptr) < 0
+        if np.any(drops):
+            r = int(np.argmax(drops))
+            raise GraphValidationError(
+                f"indptr must be non-decreasing; decreases at row {r} "
+                f"({int(self.indptr[r])} -> {int(self.indptr[r + 1])})"
+            )
+        if self.indices.size:
+            bad = (self.indices < 0) | (self.indices >= self.num_cols)
+            if bad.any():
+                e = int(np.argmax(bad))
+                raise GraphValidationError(
+                    f"column index {int(self.indices[e])} out of range "
+                    f"[0, {self.num_cols}) at nze {e}",
+                    edge_index=e,
+                )
 
     # ------------------------------------------------------------------
     @property

@@ -6,6 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core import clear_plan_cache, clear_tune_cache
+from repro.exec import get_engine
+from repro.resilience import reset_injector
 from repro.sparse import COOMatrix, generators
 
 
@@ -23,6 +25,22 @@ def _cold_plan_cache():
     yield
     clear_plan_cache()
     clear_tune_cache()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_injector():
+    """Re-read the fault profile and zero occurrence counters per test.
+
+    The injector's fire schedule is a pure function of (seed, site,
+    occurrence index); resetting the counters makes each test see the
+    same deterministic schedule regardless of test ordering.  Engine
+    health is reset too so one chaos test can't degrade the next.
+    """
+    reset_injector()
+    get_engine().reset_health()
+    yield
+    reset_injector()
+    get_engine().reset_health()
 
 
 @pytest.fixture(scope="session")

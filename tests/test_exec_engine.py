@@ -25,9 +25,17 @@ from repro.exec import (
 from repro.exec.numerics import csr_spmm_serial, sddmm_serial
 from repro.kernels.gnnone import GnnOneSDDMM, GnnOneSpMM, GnnOneSpMV, segment_sum_spmm
 from repro.nn import GCN, GraphData, Trainer, synthesize
+from repro.resilience import no_faults
 from repro.sparse import COOMatrix
 from repro.sparse.datasets import load_dataset
 from repro.sparse.partition import nnz_balanced_row_blocks
+
+
+@pytest.fixture(autouse=True)
+def _no_faults(_fresh_injector):
+    """Exact launch-counter and shard-plan assertions need a fault-free engine."""
+    with no_faults():
+        yield
 
 
 @st.composite

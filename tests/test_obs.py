@@ -7,6 +7,15 @@ import pytest
 
 from repro import obs
 from repro.obs.__main__ import main as obs_main
+from repro.resilience import no_faults
+
+
+@pytest.fixture(autouse=True)
+def _no_faults(_fresh_injector):
+    """Exact span/event-count assertions need a fault-free stack
+    (fault replays add extra train.epoch spans and resilience events)."""
+    with no_faults():
+        yield
 
 
 class TestSpans:

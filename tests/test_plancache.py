@@ -27,7 +27,15 @@ from repro.kernels.gnnone import (
 )
 from repro.kernels.gnnone.spmm import csr_replay_spmm
 from repro.kernels.registry import spmm_kernel
+from repro.resilience import no_faults
 from repro.sparse import COOMatrix
+
+
+@pytest.fixture(autouse=True)
+def _no_faults(_fresh_injector):
+    """Exact hit/miss/eviction assertions need a fault-free cache."""
+    with no_faults():
+        yield
 
 
 @st.composite

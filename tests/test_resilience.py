@@ -1,0 +1,526 @@
+"""Fault injection, validation boundary, and every recovery path.
+
+The contract under test: with injection armed, every operation either
+recovers **bit-identically** to its fault-free result or raises a typed
+``repro.errors`` subclass — never a raw IndexError/ValueError from deep
+inside scipy, and never a silently wrong number.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import get_plan_cache
+from repro.core.plancache import CachedLaunch
+from repro.errors import (
+    ConfigError,
+    FaultInjectedError,
+    GraphValidationError,
+    TrainingDivergedError,
+)
+from repro.exec import exec_workers, row_shard_plan
+from repro.exec.numerics import csr_spmm_serial, sddmm_serial
+from repro.exec.sharding import plan_is_valid
+from repro.nn import GCN, GraphData, Trainer, synthesize
+from repro.resilience import (
+    CheckpointManager,
+    FaultInjector,
+    TrainSnapshot,
+    ValidationReport,
+    check_finite_output,
+    ensure_structure_validated,
+    fault_profile,
+    no_faults,
+    parse_profile,
+    validate_graph,
+    validation_level,
+)
+from repro.resilience.faults import PROFILES
+from repro.sparse import COOMatrix
+from repro.sparse.datasets import load_dataset
+
+
+def _spmm_operands(coo, F, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(coo.nnz), rng.standard_normal((coo.num_cols, F))
+
+
+# --------------------------------------------------------------- injector
+class TestFaultInjector:
+    def test_schedule_is_a_pure_function_of_the_seed(self):
+        a = FaultInjector({"exec.worker_raise": 0.3}, seed=99)
+        b = FaultInjector({"exec.worker_raise": 0.3}, seed=99)
+        seq_a = [a.fire("exec.worker_raise") for _ in range(200)]
+        seq_b = [b.fire("exec.worker_raise") for _ in range(200)]
+        assert seq_a == seq_b
+        assert any(seq_a) and not all(seq_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector({"exec.worker_raise": 0.3}, seed=1)
+        b = FaultInjector({"exec.worker_raise": 0.3}, seed=2)
+        assert [a.fire("exec.worker_raise") for _ in range(200)] != [
+            b.fire("exec.worker_raise") for _ in range(200)
+        ]
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        rate=st.floats(0.05, 1.0),
+        max_burst=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_burst_is_bounded_by_construction(self, seed, rate, max_burst):
+        """No site ever fires more than max_burst times consecutively,
+        so a bounded retry/rollback budget always reaches a clean try."""
+        inj = FaultInjector({"s": rate}, seed=seed, max_burst=max_burst)
+        run = longest = 0
+        for _ in range(300):
+            if inj.fire("s"):
+                run += 1
+                longest = max(longest, run)
+            else:
+                run = 0
+        assert longest <= max_burst
+
+    def test_reset_restarts_the_schedule(self):
+        inj = FaultInjector({"s": 0.5}, seed=7)
+        first = [inj.fire("s") for _ in range(50)]
+        inj.reset()
+        assert [inj.fire("s") for _ in range(50)] == first
+
+    def test_unarmed_site_never_fires(self):
+        inj = FaultInjector({"s": 0.5}, seed=7)
+        assert not inj.armed("other")
+        assert not any(inj.fire("other") for _ in range(100))
+
+    def test_maybe_raise_is_typed(self):
+        inj = FaultInjector({"s": 1.0}, seed=0)
+        with pytest.raises(FaultInjectedError):
+            inj.maybe_raise("s")
+
+    def test_parse_profile(self):
+        assert parse_profile(None) == {}
+        assert parse_profile("") == {}
+        assert parse_profile("none") == {}
+        assert parse_profile("chaos") == PROFILES["chaos"]
+        assert parse_profile("a=0.5, b=1") == {"a": 0.5, "b": 1.0}
+        with pytest.raises(ConfigError):
+            parse_profile("not-a-profile")
+        with pytest.raises(ConfigError):
+            parse_profile("a=nope")
+        with pytest.raises(ConfigError):
+            parse_profile("a=1.5")
+
+    def test_fault_profile_context_restores_previous(self):
+        from repro.resilience.faults import get_injector
+
+        before = get_injector()
+        with fault_profile("chaos", seed=5) as inj:
+            assert get_injector() is inj
+            assert inj.enabled
+        assert get_injector() is before
+
+    def test_no_faults_disables_everything(self):
+        with no_faults() as inj:
+            assert not inj.enabled
+            assert not inj.fire("exec.worker_raise")
+
+
+# ------------------------------------------------------------- validation
+class TestValidationBoundary:
+    def test_census_duplicates_and_empty_rows(self):
+        coo = COOMatrix.from_edges(
+            5, 5, np.array([0, 0, 0, 2, 2]), np.array([1, 1, 3, 0, 4]),
+            deduplicate=False,
+        )
+        report = validate_graph(coo)
+        assert report.ok
+        assert report.duplicate_edges == 1
+        assert report.empty_rows == 3  # rows 1, 3, 4
+        assert report.csr_ordered and report.index_in_range
+
+    def test_nonfinite_features_reported(self):
+        coo = COOMatrix.from_edges(3, 3, np.array([0, 1]), np.array([1, 2]))
+        features = np.ones((3, 4))
+        features[1, 2] = np.inf
+        report = validate_graph(coo, features)
+        assert not report.ok and not report.finite_features
+        with pytest.raises(GraphValidationError, match="non-finite feature"):
+            report.raise_if_invalid()
+
+    def test_unsorted_entries_only_fatal_when_required(self):
+        # direct construction: from_edges would sort for us
+        coo = COOMatrix(3, 3, np.array([2, 0]), np.array([0, 1]))
+        assert validate_graph(coo).ok
+        report = validate_graph(coo, require_sorted=True)
+        assert not report.ok
+        assert report.first_bad_edge == 1
+
+    def test_coo_constructor_names_the_offending_edge(self):
+        """Satellite 1: eager validation with a structured error."""
+        with pytest.raises(GraphValidationError, match="row index 7") as exc:
+            COOMatrix.from_edges(4, 4, np.array([0, 7]), np.array([1, 1]))
+        assert exc.value.edge_index == 1
+        with pytest.raises(GraphValidationError, match="column index -1") as exc:
+            COOMatrix.from_edges(4, 4, np.array([0, 1]), np.array([-1, 1]))
+        assert exc.value.edge_index == 0
+
+    def test_report_round_trips_to_dict(self):
+        report = ValidationReport(2, 2, 0)
+        d = report.to_dict()
+        assert d["ok"] is True and d["nnz"] == 0
+
+    def test_ensure_structure_validated_memoizes(self, small_graph):
+        counter = obs.get_metrics().counter("resilience.graphs_validated")
+        before = counter.value
+        ensure_structure_validated(small_graph)
+        after_first = counter.value
+        ensure_structure_validated(small_graph)
+        assert counter.value == after_first >= before
+
+    def test_validation_level_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        assert validation_level() == "basic"
+        monkeypatch.setenv("REPRO_VALIDATE", "full")
+        assert validation_level() == "full"
+        monkeypatch.setenv("REPRO_VALIDATE", "paranoid")
+        with pytest.raises(GraphValidationError):
+            validation_level()
+
+    def test_check_finite_output(self):
+        assert check_finite_output(np.ones(4))
+        assert not check_finite_output(np.array([1.0, np.nan]))
+
+    def test_graphdata_warm_rejects_nan_features(self, small_graph):
+        features = np.ones((small_graph.num_rows, 3))
+        features[0, 0] = np.nan
+        with pytest.raises(GraphValidationError, match="non-finite feature"):
+            GraphData(small_graph).warm(features)
+
+
+# ---------------------------------------------------------- engine recovery
+class TestEngineRecovery:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_storm_spmm_is_bit_identical_to_fault_free(self, seed):
+        """The tentpole property: every injected fault along the sharded
+        SpMM path recovers to the exact fault-free serial result."""
+        rng = np.random.default_rng(4)
+        coo = COOMatrix.from_edges(
+            60, 60, rng.integers(0, 60, 600), rng.integers(0, 60, 600)
+        ).sort_csr_order()
+        w, X = _spmm_operands(coo, 8)
+        with no_faults():
+            expect = csr_spmm_serial(coo, w, X)
+        with exec_workers(3, min_parallel_nnz=1):
+            with fault_profile("storm", seed=seed):
+                from repro.exec import get_engine
+
+                got = get_engine().spmm(coo, w, X)
+        assert np.array_equal(got, expect)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_storm_sddmm_is_bit_identical_to_fault_free(self, seed):
+        rng = np.random.default_rng(5)
+        coo = COOMatrix.from_edges(
+            50, 50, rng.integers(0, 50, 400), rng.integers(0, 50, 400)
+        ).sort_csr_order()
+        X = rng.standard_normal((50, 6))
+        Y = rng.standard_normal((50, 6))
+        with no_faults():
+            expect = sddmm_serial(coo, X, Y)
+        with exec_workers(3, min_parallel_nnz=1):
+            with fault_profile("storm", seed=seed):
+                from repro.exec import get_engine
+
+                got = get_engine().sddmm(coo, X, Y)
+        assert np.array_equal(got, expect)
+
+    def test_value_nan_caught_by_output_guard(self, medium_graph):
+        coo = medium_graph.sort_csr_order()
+        w, X = _spmm_operands(coo, 4)
+        with no_faults():
+            expect = csr_spmm_serial(coo, w, X)
+        degraded = obs.get_metrics().counter("resilience.degraded")
+        before = degraded.value
+        with exec_workers(3, min_parallel_nnz=1) as engine:
+            with fault_profile("exec.value_nan=1.0", seed=0):
+                got = engine.spmm(coo, w, X)
+        assert np.array_equal(got, expect)
+        assert degraded.value > before
+
+    def test_exhausted_retries_degrade_to_serial(self, medium_graph):
+        """A shard whose every attempt fails (burst bound lifted) pulls
+        the launch down to the exact serial numerics."""
+        coo = medium_graph.sort_csr_order()
+        w, X = _spmm_operands(coo, 4)
+        with no_faults():
+            expect = csr_spmm_serial(coo, w, X)
+        metrics = obs.get_metrics()
+        retries0 = metrics.counter("resilience.retry").value
+        degraded0 = metrics.counter("resilience.degraded").value
+        with exec_workers(3, min_parallel_nnz=1) as engine:
+            with fault_profile("exec.worker_raise=1.0", seed=0) as inj:
+                inj.max_burst = 10**9  # make the fault persistent
+                got = engine.spmm(coo, w, X)
+        assert np.array_equal(got, expect)
+        assert metrics.counter("resilience.retry").value > retries0
+        assert metrics.counter("resilience.degraded").value > degraded0
+
+    def test_transient_fault_recovers_within_retry_budget(self, medium_graph):
+        """With the default burst bound (2) a rate-1.0 raise site fails
+        two attempts and succeeds on the third — retries, no degrade."""
+        coo = medium_graph.sort_csr_order()
+        w, X = _spmm_operands(coo, 4)
+        with no_faults():
+            expect = csr_spmm_serial(coo, w, X)
+        with exec_workers(2, min_parallel_nnz=1) as engine:
+            with fault_profile("exec.worker_raise=1.0", seed=0):
+                got = engine.spmm(coo, w, X)
+            assert engine.healthy
+        assert np.array_equal(got, expect)
+
+    def test_pool_goes_unhealthy_then_serial_until_reset(self, medium_graph):
+        coo = medium_graph.sort_csr_order()
+        w, X = _spmm_operands(coo, 4)
+        metrics = obs.get_metrics()
+        with exec_workers(3, min_parallel_nnz=1) as engine:
+            with fault_profile("exec.worker_raise=1.0", seed=0) as inj:
+                inj.max_burst = 10**9
+                for _ in range(3):
+                    engine.spmm(coo, w, X)  # 3 consecutive degrades
+                assert not engine.healthy
+                serial0 = metrics.counter("exec.launch.serial").value
+                got = engine.spmm(coo, w, X)  # routed serially: no shards
+                assert metrics.counter("exec.launch.serial").value == serial0 + 1
+            with no_faults():
+                assert np.array_equal(got, csr_spmm_serial(coo, w, X))
+            engine.reset_health()
+            assert engine.healthy
+
+    def test_stall_site_raises_typed_error_and_recovers(self, medium_graph):
+        coo = medium_graph.sort_csr_order()
+        w, X = _spmm_operands(coo, 4)
+        with no_faults():
+            expect = csr_spmm_serial(coo, w, X)
+        with exec_workers(2, min_parallel_nnz=1) as engine:
+            with fault_profile("exec.shard_stall=1.0", seed=3):
+                got = engine.spmm(coo, w, X)
+        assert np.array_equal(got, expect)
+
+
+# ------------------------------------------------- plan & cache integrity
+class TestPlanAndCacheIntegrity:
+    def test_corrupted_shard_plan_is_rebuilt(self, medium_graph):
+        coo = medium_graph.sort_csr_order()
+        clean = row_shard_plan(coo, 4)  # populates the cache
+        assert plan_is_valid(clean, coo)
+        invalidated = obs.get_metrics().counter("resilience.plan_invalidated")
+        before = invalidated.value
+        with fault_profile("shard.plan_corrupt=1.0", seed=0):
+            rebuilt = row_shard_plan(coo, 4)  # hit fires, corrupts, rebuilds
+        assert plan_is_valid(rebuilt, coo)
+        assert invalidated.value > before
+        assert rebuilt.n_blocks == clean.n_blocks
+
+    def test_plan_is_valid_rejects_corruption(self, medium_graph):
+        coo = medium_graph.sort_csr_order()
+        plan = row_shard_plan(coo, 4)
+        bad = type(plan)(
+            n_workers=plan.n_workers,
+            row_starts=plan.row_starts.copy(),
+            nnz_starts=plan.nnz_starts.copy(),
+        )
+        bad.row_starts[1] = bad.row_starts[-1] + 1
+        assert not plan_is_valid(bad, coo)
+
+    def test_poisoned_cache_entry_recomputes(self):
+        cache = get_plan_cache()
+        key = ("tok", "kern", "spmm", 8, None)
+        entry = CachedLaunch(cost=None, trace=None)
+        with fault_profile("plancache.poison=1.0", seed=0):
+            cache.store(key, entry)  # checksum recorded (site armed)
+            assert cache.lookup(key) is None  # poison fired: invalidated
+            assert cache.invalidations >= 1
+            assert cache.stats()["plancache_invalidations"] >= 1
+            cache.store(key, entry)
+            assert cache.lookup(key) is None  # second fire, invalidated again
+            cache.store(key, entry)
+            # burst bound: after two consecutive fires the third consult
+            # is forced quiet and the entry survives verification.
+            assert cache.lookup(key) is entry
+
+
+# ------------------------------------------------------------- trainer
+def _make_trainer(hidden=8, seed=3, lr=0.02):
+    dataset = load_dataset("G3")
+    data = synthesize(dataset, feature_length=8, seed=seed)
+    model = GCN(data.feature_length, hidden, data.num_classes, seed=seed)
+    return Trainer(model, GraphData(dataset.coo), data, lr=lr)
+
+
+class TestTrainerResilience:
+    def test_nan_guard_reproduces_fault_free_trajectory(self):
+        """Loss corruption at every epoch (transient, burst-bounded)
+        rolls back and replays to the exact uninterrupted history —
+        including dropout masks, via the snapshot's RNG capture."""
+        with no_faults():
+            reference = _make_trainer().fit(4)
+        restores = obs.get_metrics().counter("resilience.checkpoint_restore")
+        before = restores.value
+        with fault_profile("train.loss_corrupt=1.0", seed=0):
+            result = _make_trainer().fit(4)
+        assert restores.value > before
+        assert [r.loss for r in result.history] == [r.loss for r in reference.history]
+        assert result.test_acc == reference.test_acc
+
+    def test_persistent_corruption_raises_typed_divergence(self):
+        with fault_profile("train.loss_corrupt=1.0", seed=0) as inj:
+            inj.max_burst = 10**9  # defeat the rollback budget
+            with pytest.raises(TrainingDivergedError, match="non-finite"):
+                _make_trainer().fit(3)
+
+    def test_nan_guard_off_keeps_the_corrupted_loss(self):
+        with fault_profile("train.loss_corrupt=1.0", seed=0):
+            result = _make_trainer().fit(2, nan_guard=False)
+        assert any(not np.isfinite(r.loss) for r in result.history)
+
+    def test_checkpoint_resume_reproduces_trajectory(self, tmp_path):
+        """Satellite: interrupt + resume == uninterrupted, bit-for-bit."""
+        with no_faults():
+            reference = _make_trainer().fit(6)
+            _make_trainer().fit(3, checkpoint_dir=tmp_path)  # "interrupted"
+            resumed = _make_trainer().fit(6, checkpoint_dir=tmp_path, resume=True)
+        assert [r.loss for r in resumed.history] == [r.loss for r in reference.history]
+        assert [r.val_acc for r in resumed.history] == [
+            r.val_acc for r in reference.history
+        ]
+        assert resumed.test_acc == reference.test_acc
+
+    def test_checkpoint_files_and_manager_round_trip(self, tmp_path):
+        with no_faults():
+            trainer = _make_trainer()
+            trainer.fit(3, checkpoint_dir=tmp_path, checkpoint_every=1)
+        manager = CheckpointManager(tmp_path)
+        assert manager.epochs() == [0, 1, 2]
+        snapshot, history = manager.load_latest()
+        assert snapshot.epoch == 2 and len(history) == 3
+        assert all(isinstance(p, np.ndarray) for p in snapshot.params)
+        assert snapshot.rng_states  # dropout generators captured
+
+    def test_snapshot_restore_is_exact(self):
+        with no_faults():
+            trainer = _make_trainer()
+            trainer.fit(1)
+            snap = TrainSnapshot.capture(1, trainer.model, trainer.optimizer)
+            record_a = trainer.train_epoch(1)
+            snap.restore(trainer.model, trainer.optimizer)
+            record_b = trainer.train_epoch(1)
+        assert record_a.loss == record_b.loss
+        assert record_a.val_acc == record_b.val_acc
+
+
+# ---------------------------------------------------------------- bench
+class TestBenchErrorRows:
+    def test_sweep_points_records_error_rows_and_continues(self):
+        from repro.bench.harness import sweep_points
+
+        def fn(point):
+            if point == 2:
+                raise ValueError("boom")
+            return {"point": point, "status": "ok"}
+
+        failures = obs.get_metrics().counter("bench.point_failures")
+        before = failures.value
+        rows = sweep_points(
+            fn,
+            [1, 2, 3],
+            label="bench.sweep.test",
+            error_row=lambda p, e: {"point": p, "status": "error",
+                                    "error": f"{type(e).__name__}: {e}"},
+        )
+        assert [r["status"] for r in rows] == ["ok", "error", "ok"]
+        assert rows[1]["error"] == "ValueError: boom"
+        assert failures.value == before + 1
+
+    def test_sweep_points_without_error_row_propagates(self):
+        from repro.bench.harness import sweep_points
+
+        def fn(point):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            sweep_points(fn, [1], label="bench.sweep.test")
+
+    def test_cli_exits_nonzero_on_point_failures(self, monkeypatch, capsys):
+        from repro.bench import __main__ as bench_main
+        from repro.bench import harness
+        from repro.bench.report import ExperimentResult
+
+        def fake(*, quick=False):
+            result = ExperimentResult("fake", "t", ["dataset", "dim", "status"])
+            result.add_row(dataset="G3", dim=16, status="ok")
+            result.add_row(dataset="G6", dim=16, status="error",
+                           error="KernelLaunchError: boom")
+            return result
+
+        monkeypatch.setitem(harness._REGISTRY, "fake", fake)
+        code = bench_main.main(["fake"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 sweep point(s) failed" in captured.err
+        assert "dataset=G6" in captured.err
+
+    def test_cli_exits_zero_without_failures(self, monkeypatch, capsys):
+        from repro.bench import __main__ as bench_main
+        from repro.bench import harness
+        from repro.bench.report import ExperimentResult
+
+        def fake(*, quick=False):
+            result = ExperimentResult("fake", "t", ["dataset", "status"])
+            result.add_row(dataset="G3", status="ok")
+            return result
+
+        monkeypatch.setitem(harness._REGISTRY, "fake", fake)
+        assert bench_main.main(["fake"]) == 0
+
+
+# ------------------------------------------------------------ obs summary
+class TestObsResilienceSummary:
+    def test_counts_only_resilience_events(self):
+        records = [
+            {"type": "event", "name": "resilience.fault_injected"},
+            {"type": "event", "name": "resilience.fault_injected"},
+            {"type": "event", "name": "resilience.retry"},
+            {"type": "event", "name": "resilience.degraded"},
+            {"type": "span", "name": "resilience.retry"},  # not an event
+            {"type": "event", "name": "other.event"},
+        ]
+        counts = obs.resilience_summary(records)
+        assert counts["resilience.fault_injected"] == 2
+        assert counts["resilience.retry"] == 1
+        assert counts["resilience.degraded"] == 1
+        assert counts["resilience.checkpoint_restore"] == 0
+
+    def test_format_line(self):
+        counts = obs.resilience_summary([])
+        assert "no faults" in obs.format_resilience_line(counts)
+        counts["resilience.fault_injected"] = 3
+        counts["resilience.retry"] = 2
+        line = obs.format_resilience_line(counts)
+        assert "3 fault(s) injected" in line and "2 shard retry(ies)" in line
+
+    def test_chaos_run_events_land_in_the_trace(self, medium_graph):
+        coo = medium_graph.sort_csr_order()
+        w, X = _spmm_operands(coo, 4)
+        with obs.capture() as records:
+            with exec_workers(3, min_parallel_nnz=1) as engine:
+                with fault_profile("exec.worker_raise=1.0", seed=0) as inj:
+                    inj.max_burst = 10**9
+                    engine.spmm(coo, w, X)
+        counts = obs.resilience_summary(records)
+        assert counts["resilience.fault_injected"] > 0
+        assert counts["resilience.retry"] > 0
+        assert counts["resilience.degraded"] > 0
