@@ -262,6 +262,27 @@ def _check_workers(report: dict) -> list[str]:
     return problems
 
 
+def _append_trajectory(path: str, entry: dict) -> None:
+    """Append one headline record to the cumulative trajectory file.
+
+    ``BENCH_trajectory.json`` is a growing JSON array, one entry per
+    bench run, so perf moves are visible across commits without diffing
+    whole reports; a corrupt/missing file restarts the list rather than
+    crashing the bench.
+    """
+    trajectory: list = []
+    p = Path(path)
+    if p.exists():
+        try:
+            loaded = json.loads(p.read_text(encoding="utf-8"))
+            if isinstance(loaded, list):
+                trajectory = loaded
+        except (OSError, ValueError):
+            pass
+    trajectory.append(entry)
+    p.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -270,6 +291,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="result JSON path (default: BENCH_pr2.json)")
     parser.add_argument("--metrics", default="metrics.json",
                         help="repro.obs metrics snapshot path")
+    parser.add_argument("--trajectory", default="BENCH_trajectory.json",
+                        help="cumulative headline-numbers file (appended; "
+                             "'' disables)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless warm/cold speedup > 1 "
                              "and the plan cache registered hits")
@@ -293,6 +317,18 @@ def main(argv: list[str] | None = None) -> int:
         }
         Path(out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         obs.write_metrics_json(args.metrics)
+        if args.trajectory:
+            top = str(max(counts))
+            _append_trajectory(args.trajectory, {
+                "benchmark": "exec-engine",
+                "timestamp": time.time(),
+                "quick": args.quick,
+                "cpus": report["cpus"],
+                "worker_counts": counts,
+                "fit_speedup": report["runs"][top].get("fit_speedup"),
+                "sweep_speedup": report["runs"][top].get("sweep_speedup"),
+                "fit_wall_s": report["runs"][top]["gcn_fit"]["wall_s"],
+            })
         for w in counts:
             run = report["runs"][str(w)]
             extra = ""
@@ -338,6 +374,19 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     obs.write_metrics_json(args.metrics)
+    if args.trajectory:
+        _append_trajectory(args.trajectory, {
+            "benchmark": "plan-cache",
+            "timestamp": time.time(),
+            "quick": args.quick,
+            "gcn_cold_epoch_s": gcn["cold_epoch_s"],
+            "gcn_warm_epoch_s": gcn["warm_epoch_s"],
+            "gcn_speedup": gcn["speedup"],
+            "sweep_cold_pass_s": sweep["cold_pass_s"],
+            "sweep_warm_pass_s": sweep["warm_pass_s"],
+            "sweep_speedup": sweep["speedup"],
+            "epoch_sim_us": gcn["epoch_sim_us"],
+        })
 
     print(f"GCN fit   ({gcn['dataset']}): cold epoch {gcn['cold_epoch_s'] * 1e3:8.1f} ms, "
           f"warm epoch {gcn['warm_epoch_s'] * 1e3:8.1f} ms  -> {gcn['speedup']:.2f}x")

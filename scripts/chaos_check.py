@@ -14,7 +14,9 @@ degrade-to-serial, >=1 checkpoint restore), so a regression that
 silently disables injection fails the gate too.
 
 The chaos phase streams an obs trace to ``--trace`` (default
-``chaos_trace.jsonl``) for ``python -m repro.obs summary``.
+``chaos_trace.jsonl``) for ``python -m repro.obs summary``, and the
+deep profiler renders that trace's per-kernel breakdown and worker
+timeline to ``--profile`` (default ``chaos_profile.txt``).
 
 Usage::
 
@@ -69,6 +71,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", default="chaos_trace.jsonl",
                         help="obs trace file for the chaos phase")
+    parser.add_argument("--profile", default="chaos_profile.txt",
+                        help="deep-profile report rendered from the chaos "
+                             "trace ('' disables)")
     args = parser.parse_args(argv)
     seed = int(os.environ.get("REPRO_FAULT_SEED", "1337") or "1337")
 
@@ -112,12 +117,36 @@ def main(argv: list[str] | None = None) -> int:
         if fired[name] < 1:
             failures.append(f"chaos run never exercised {name} (seed {seed})")
 
+    if args.profile:
+        # The same trace the summary reads also feeds the deep profiler:
+        # the chaos run's per-kernel breakdown and worker timeline land
+        # next to the trace as a build artifact.
+        from pathlib import Path
+
+        from repro.obs.profile import (
+            format_profile_report,
+            format_timeline,
+            profile_trace,
+        )
+
+        records, dropped = obs.read_trace_lenient(args.trace)
+        report = format_profile_report(profile_trace(records))
+        timeline = format_timeline(records)
+        Path(args.profile).write_text(
+            report + "\n\n" + timeline + "\n", encoding="utf-8"
+        )
+        if dropped:
+            print(f"warning: {dropped} corrupt trace line(s) skipped",
+                  file=sys.stderr)
+
     print(f"chaos check (seed {seed}, {CHAOS_WORKERS} workers):")
     for name, count in fired.items():
         print(f"  {name}: {count:.0f}")
     print(f"  sweep rows compared: {len(base_sweep.rows)}")
     print(f"  epoch losses compared: {len(base_losses)}")
     print(f"  trace: {args.trace}")
+    if args.profile:
+        print(f"  profile: {args.profile}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Overhead micro-benchmark for the obs layer's no-op fast path.
+
+The instrumentation contract is "off means free": with no sink
+installed (the production default), every ``obs.span(...)`` falls
+through a couple of attribute checks, and with ``REPRO_OBS=off`` even
+those checks short-circuit on one cached module-level bool and
+``get_metrics()`` hands back shared no-op instruments.
+
+This script measures that claim: it runs the warm Fig-4 quick sweep
+(plan cache hot, so kernel launches — and therefore span crossings —
+dominate) with the obs layer enabled versus killed, and reports the
+overhead.  Timing uses best-of-N (min), the standard estimator for
+"what does the code cost without scheduler noise".
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_overhead.py
+    PYTHONPATH=src python scripts/obs_overhead.py --check   # CI: <2%
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+DEFAULT_THRESHOLD_PCT = 2.0
+
+
+def _sample(inner: int, dataset_key: str, feature_lengths: tuple[int, ...],
+            kernels: tuple[str, ...]) -> float:
+    """One timed sample: ``inner`` back-to-back warm sweeps.
+
+    A single warm quick sweep runs in ~1 ms — below what perf_counter
+    sampling can compare at the percent level — so each sample times a
+    batch and best-of-N picks the quietest one.
+    """
+    from repro.bench.harness import time_spmm
+
+    t0 = time.perf_counter()
+    for _ in range(inner):
+        for kernel in kernels:
+            for f in feature_lengths:
+                time_spmm(kernel, dataset_key, f)
+    return time.perf_counter() - t0
+
+
+def measure(repeats: int = 9, inner: int = 10) -> dict:
+    """Best-of-N warm-sweep seconds with obs enabled vs killed."""
+    import scipy.sparse  # noqa: F401 -- pre-pay the lazy import outside the timers
+
+    from repro.core import clear_plan_cache
+    from repro.obs.spans import set_obs_enabled
+
+    dataset_key, dims, kernels = "G0", (16, 32), ("gnnone", "dgl")
+
+    clear_plan_cache()
+    _sample(1, dataset_key, dims, kernels)  # warm the plan cache once
+
+    on_s: list[float] = []
+    off_s: list[float] = []
+    try:
+        # Interleave the two modes so drift (thermal, page cache) hits
+        # both equally; best-of-N then drops the noisy samples anyway.
+        for _ in range(repeats):
+            set_obs_enabled(True)
+            on_s.append(_sample(inner, dataset_key, dims, kernels))
+            set_obs_enabled(False)
+            off_s.append(_sample(inner, dataset_key, dims, kernels))
+    finally:
+        set_obs_enabled(None)  # restore the env-switch default
+    best_on, best_off = min(on_s), min(off_s)
+    return {
+        "repeats": repeats,
+        "inner": inner,
+        "sweep_points": len(dims) * len(kernels),
+        "on_best_s": best_on,
+        "off_best_s": best_off,
+        "overhead_pct": (best_on / best_off - 1.0) * 100.0 if best_off > 0 else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=9,
+                        help="timed samples per mode (best-of-N)")
+    parser.add_argument("--inner", type=int, default=10,
+                        help="warm sweeps batched into one timed sample")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                        help="max tolerated overhead percent (with --check)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if overhead exceeds the threshold")
+    args = parser.parse_args(argv)
+
+    report = measure(repeats=args.repeats, inner=args.inner)
+    print(f"warm fig04 quick sweep ({report['sweep_points']} points x "
+          f"{report['inner']} sweeps/sample, best of {report['repeats']}):")
+    print(f"  obs enabled : {report['on_best_s'] * 1e3:8.2f} ms")
+    print(f"  REPRO_OBS=off: {report['off_best_s'] * 1e3:8.2f} ms")
+    print(f"  overhead    : {report['overhead_pct']:+.2f}%")
+    if args.check and report["overhead_pct"] > args.threshold:
+        print(f"CHECK FAILED: obs overhead {report['overhead_pct']:.2f}% > "
+              f"{args.threshold}%", file=sys.stderr)
+        return 1
+    if args.check:
+        print("CHECK OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

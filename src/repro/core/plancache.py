@@ -183,10 +183,18 @@ class PlanCache:
             if slot is None:
                 self.misses += 1
                 metrics.counter("plancache.miss").inc()
+                # Per-kind attribution: which launch kinds miss tells the
+                # profiler where cold simulation time is going.  Only
+                # recorded while a trace sink is live — the f-string and
+                # extra probe stay off the untraced warm path.
+                if obs.tracing_enabled():
+                    metrics.counter(f"plancache.miss.{key[2]}").inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             metrics.counter("plancache.hit").inc()
+            if obs.tracing_enabled():
+                metrics.counter(f"plancache.hit.{key[2]}").inc()
             return slot.entry
 
     def store(self, key: PlanKey, entry: CachedLaunch) -> None:

@@ -379,7 +379,7 @@ class ExecutionEngine:
         with obs.span(
             "exec.parallel", kind=kind, workers=self.workers,
             shards=len(blocks), shard_imbalance=imbalance,
-        ):
+        ) as sp:
             futures = []
             for b in blocks:
                 ctx = contextvars.copy_context()
@@ -392,27 +392,41 @@ class ExecutionEngine:
             # shard must never keep writing into a buffer the caller has
             # already released back to the pool.
             errors: list[BaseException] = []
+            shard_ms: list[float] = []
             for f in futures:
                 try:
-                    f.result()
+                    shard_ms.append(f.result())
                 except Exception as e:  # noqa: BLE001 - collected, re-raised below
                     errors.append(e)
+            if shard_ms:
+                # Measured (wall) imbalance alongside the planned NNZ
+                # imbalance: the timeline/profile views compare the two
+                # to show whether the NNZ balancer predicts stragglers.
+                mean_ms = sum(shard_ms) / len(shard_ms)
+                sp.set(
+                    shard_wall_ms_max=max(shard_ms),
+                    shard_wall_ms_mean=mean_ms,
+                    measured_imbalance=max(shard_ms) / mean_ms if mean_ms > 0 else 1.0,
+                )
             if errors:
                 raise errors[0]
 
-    def _run_shard(self, kind: str, block: RowBlock, block_fn, block_reset) -> None:
+    def _run_shard(self, kind: str, block: RowBlock, block_fn, block_reset) -> float:
         """One shard with a bounded retry budget and exponential backoff.
 
-        Injected faults consume a fresh injector occurrence per attempt,
-        so transient failures clear on retry exactly like flaky real
-        workers; a shard that fails every attempt raises
-        :class:`ShardExecutionError` and the launch degrades to serial.
+        Returns the successful attempt's wall milliseconds (fed into the
+        launch's measured-imbalance attribution).  Injected faults
+        consume a fresh injector occurrence per attempt, so transient
+        failures clear on retry exactly like flaky real workers; a shard
+        that fails every attempt raises :class:`ShardExecutionError` and
+        the launch degrades to serial.
         """
         injector = faults.get_injector()
         metrics = obs.get_metrics()
         last_error: BaseException | None = None
         for attempt in range(self.max_attempts):
             try:
+                t0 = time.perf_counter()
                 with obs.span(
                     "exec.shard", kind=kind, shard=block.index,
                     rows=block.num_rows, nnz=block.nnz, attempt=attempt,
@@ -426,7 +440,9 @@ class ExecutionEngine:
                             "exec.shard_stall", kind=kind, shard=block.index
                         )
                     block_fn(block)
-                return
+                wall_ms = (time.perf_counter() - t0) * 1e3
+                metrics.histogram("exec.shard_wall_ms").observe(wall_ms)
+                return wall_ms
             except Exception as e:  # noqa: BLE001 - bounded retry, then typed raise
                 last_error = e
                 if attempt + 1 >= self.max_attempts:

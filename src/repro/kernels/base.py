@@ -36,6 +36,7 @@ replay-cost/recompute-numerics treatment without per-kernel code.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -78,20 +79,75 @@ def cost_span_attrs(cost: CostReport) -> dict[str, float | int | str]:
     """The CostReport fields every kernel span carries."""
     return {
         "time_us": cost.time_us,
+        "cycles": cost.cycles,
         "dram_bytes": cost.dram_bytes,
         "occupancy_warps_per_sm": cost.occupancy.active_warps_per_sm,
+        "occupancy_ctas_per_sm": cost.occupancy.active_ctas_per_sm,
         "occupancy_limiter": cost.occupancy.limiter,
         "sm_imbalance": cost.sm_imbalance,
     }
 
 
+def launch_span_attrs(kernel, A: COOMatrix, device: DeviceSpec) -> dict:
+    """Deep-profile context attached to every traced kernel span.
+
+    The trace-dataset exporter (:mod:`repro.obs.dataset`) reads these
+    straight off the span record: the graph's structural features
+    (memoized per structure token), the kernel's full configuration
+    token, and the device constants a learned cost model conditions on.
+    Only computed when a trace sink is installed.
+    """
+    from repro.sparse.stats import graph_feature_dict
+
+    return {
+        "device": device.name,
+        "device_num_sms": device.num_sms,
+        "device_clock_ghz": device.clock_ghz,
+        "device_dram_gbps": device.dram_bandwidth_gbps,
+        "device_dram_latency_cycles": device.dram_latency_cycles,
+        "config": str(kernel.cache_token()),
+        "graph": graph_feature_dict(A),
+    }
+
+
+#: per-kind metric names, interned once (these sit on the warm hot path)
+_KIND_METRIC_NAMES: dict[str, tuple[str, str, str]] = {}
+
+
+def _kind_metric_names(kind: str) -> tuple[str, str, str]:
+    names = _KIND_METRIC_NAMES.get(kind)
+    if names is None:
+        names = _KIND_METRIC_NAMES[kind] = (
+            f"kernel.{kind}.calls",
+            f"kernel.{kind}.time_us",
+            f"kernel.{kind}.dram_mb",
+        )
+    return names
+
+
 def _finish_kernel_span(sp, kind: str, result: "KernelResult") -> None:
-    sp.set(**cost_span_attrs(result.cost))
-    sp.add_sim_us(result.cost.time_us)
+    cost = result.cost
+    if obs.tracing_enabled():
+        launch = result.trace.launch
+        sp.set(**cost_span_attrs(cost))
+        # Hardware-model internals: per-stage busy cycles (the Fig-11
+        # breakdown), aggregate warp counters, and the launch shape —
+        # the profiler and the trace-dataset exporter read these.
+        sp.set(
+            kind_cycles={k: float(v) for k, v in cost.kind_cycles.items()},
+            counters={k: float(v) for k, v in cost.counters.items()},
+            grid_ctas=launch.grid_ctas,
+            threads_per_cta=launch.threads_per_cta,
+            registers_per_thread=launch.registers_per_thread,
+            shared_mem_per_cta=launch.shared_mem_per_cta,
+            preprocess_s=result.preprocess_seconds,
+        )
+    sp.add_sim_us(cost.time_us)
     metrics = obs.get_metrics()
-    metrics.counter(f"kernel.{kind}.calls").inc()
-    metrics.histogram(f"kernel.{kind}.time_us").observe(result.cost.time_us)
-    metrics.histogram(f"kernel.{kind}.dram_mb").observe(result.cost.dram_bytes / 1e6)
+    calls, time_us, dram_mb = _kind_metric_names(kind)
+    metrics.counter(calls).inc()
+    metrics.histogram(time_us).observe(cost.time_us)
+    metrics.histogram(dram_mb).observe(cost.dram_bytes / 1e6)
 
 
 @dataclass
@@ -173,6 +229,8 @@ class SpMMKernel(KernelCacheMixin, abc.ABC):
             "kernel.spmm", kind="spmm", kernel=self.name, format=self.format,
             rows=A.num_rows, nnz=A.nnz, f=int(X.shape[1]),
         ) as sp:
+            if obs.tracing_enabled():
+                sp.set(**launch_span_attrs(self, A, dev))
             key, hit = _cache_lookup(self, A, X.shape[1], dev)
             if hit is not None:
                 result = KernelResult(
@@ -181,7 +239,9 @@ class SpMMKernel(KernelCacheMixin, abc.ABC):
                 )
             else:
                 out, trace, prep = self.execute(A, edge_values, X, dev)
+                t0 = time.perf_counter()
                 cost = estimate_cost(trace, dev)
+                sp.set(cost_wall_ms=(time.perf_counter() - t0) * 1e3)
                 result = KernelResult(out, cost, trace, prep)
                 if key is not None:
                     _cache_store(key, cost, trace, prep)
@@ -228,6 +288,8 @@ class SDDMMKernel(KernelCacheMixin, abc.ABC):
             "kernel.sddmm", kind="sddmm", kernel=self.name, format=self.format,
             rows=A.num_rows, nnz=A.nnz, f=int(X.shape[1]),
         ) as sp:
+            if obs.tracing_enabled():
+                sp.set(**launch_span_attrs(self, A, dev))
             key, hit = _cache_lookup(self, A, X.shape[1], dev)
             if hit is not None:
                 result = KernelResult(
@@ -235,7 +297,9 @@ class SDDMMKernel(KernelCacheMixin, abc.ABC):
                 )
             else:
                 out, trace, prep = self.execute(A, X, Y, dev)
+                t0 = time.perf_counter()
                 cost = estimate_cost(trace, dev)
+                sp.set(cost_wall_ms=(time.perf_counter() - t0) * 1e3)
                 result = KernelResult(out, cost, trace, prep)
                 if key is not None:
                     _cache_store(key, cost, trace, prep)
@@ -282,6 +346,8 @@ class SpMVKernel(KernelCacheMixin, abc.ABC):
             "kernel.spmv", kind="spmv", kernel=self.name, format=self.format,
             rows=A.num_rows, nnz=A.nnz, f=1,
         ) as sp:
+            if obs.tracing_enabled():
+                sp.set(**launch_span_attrs(self, A, dev))
             key, hit = _cache_lookup(self, A, 1, dev)
             if hit is not None:
                 result = KernelResult(
@@ -290,7 +356,9 @@ class SpMVKernel(KernelCacheMixin, abc.ABC):
                 )
             else:
                 out, trace, prep = self.execute(A, edge_values, x, dev)
+                t0 = time.perf_counter()
                 cost = estimate_cost(trace, dev)
+                sp.set(cost_wall_ms=(time.perf_counter() - t0) * 1e3)
                 result = KernelResult(out, cost, trace, prep)
                 if key is not None:
                     _cache_store(key, cost, trace, prep)

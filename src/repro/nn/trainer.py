@@ -18,6 +18,7 @@ budget raises :class:`~repro.errors.TrainingDivergedError`.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -90,6 +91,7 @@ class Trainer:
     def train_epoch(self, epoch: int) -> EpochRecord:
         self.model.train()
         self.clock.reset()
+        t0 = time.perf_counter()
         with obs.span("train.epoch", epoch=epoch, model=type(self.model).__name__) as sp:
             with simulate(self.clock):
                 x = Tensor(self.data.features)
@@ -106,7 +108,11 @@ class Trainer:
             sp.add_sim_us(self.clock.total_us)
             sp.set(loss=float(loss.data), train_acc=train_acc, val_acc=val_acc,
                    buckets=dict(self.clock.buckets))
-        obs.get_metrics().histogram("train.epoch_sim_us").observe(self.clock.total_us)
+        metrics = obs.get_metrics()
+        metrics.histogram("train.epoch_sim_us").observe(self.clock.total_us)
+        # Wall vs simulated: the regress gate reads sim (deterministic)
+        # exactly and wall (noisy) through the MAD-based noise model.
+        metrics.histogram("train.epoch_wall_ms").observe((time.perf_counter() - t0) * 1e3)
         return EpochRecord(
             epoch=epoch,
             loss=float(loss.data),

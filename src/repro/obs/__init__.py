@@ -12,8 +12,13 @@ place they flow through:
 * :func:`trace_to` / :func:`capture` / :func:`render_tree` /
   :func:`write_metrics_json` — JSONL stream, in-memory, console tree,
   and flat snapshot exporters.
-* ``python -m repro.obs`` — summarize a trace, or diff two runs and
-  flag per-kernel simulated-time regressions.
+* ``python -m repro.obs`` — summarize a trace, diff two runs, render a
+  deep per-kernel profile (``profile``) or per-worker timeline
+  (``timeline``), export the learned-cost-model dataset (``dataset``),
+  and snapshot/gate perf baselines (``baseline`` / ``regress``).
+
+``REPRO_OBS=off`` kills the whole layer: spans short-circuit on one
+cached bool and :func:`get_metrics` returns shared no-op instruments.
 
 Tracing is off (and free) until a sink is installed::
 
@@ -39,9 +44,17 @@ from repro.obs.analysis import (
     span_key,
     summarize,
 )
+from repro.obs.dataset import (
+    RECORD_SCHEMA,
+    export_dataset,
+    record_from_span,
+    records_from_trace,
+    validate_record,
+)
 from repro.obs.export import (
     JsonlWriter,
     read_trace,
+    read_trace_lenient,
     render_tree,
     trace_to,
     write_metrics_json,
@@ -54,6 +67,21 @@ from repro.obs.metrics import (
     get_metrics,
     reset_metrics,
 )
+from repro.obs.profile import (
+    ProfileRow,
+    format_profile_report,
+    format_timeline,
+    profile_trace,
+    timeline_lanes,
+)
+from repro.obs.regress import (
+    RegressReport,
+    baseline_from_traces,
+    compare_to_baseline,
+    format_regress_report,
+    load_baseline,
+    save_baseline,
+)
 from repro.obs.spans import (
     NULL_SPAN,
     Span,
@@ -61,7 +89,9 @@ from repro.obs.spans import (
     capture,
     current_span,
     event,
+    obs_enabled,
     remove_sink,
+    set_obs_enabled,
     span,
     tracing_enabled,
 )
@@ -82,9 +112,26 @@ __all__ = [
     "summarize",
     "JsonlWriter",
     "read_trace",
+    "read_trace_lenient",
     "render_tree",
     "trace_to",
     "write_metrics_json",
+    "RECORD_SCHEMA",
+    "export_dataset",
+    "record_from_span",
+    "records_from_trace",
+    "validate_record",
+    "ProfileRow",
+    "format_profile_report",
+    "format_timeline",
+    "profile_trace",
+    "timeline_lanes",
+    "RegressReport",
+    "baseline_from_traces",
+    "compare_to_baseline",
+    "format_regress_report",
+    "load_baseline",
+    "save_baseline",
     "Counter",
     "Gauge",
     "Histogram",
@@ -97,7 +144,9 @@ __all__ = [
     "capture",
     "current_span",
     "event",
+    "obs_enabled",
     "remove_sink",
+    "set_obs_enabled",
     "span",
     "tracing_enabled",
 ]

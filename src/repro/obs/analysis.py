@@ -228,6 +228,13 @@ def format_diff(diff: RunDiff, *, limit: int = 40) -> str:
     n_reg = len(diff.regressions)
     lines.append(
         f"{len(diff.rows)} shared keys, {n_reg} regression(s), "
-        f"{len(diff.improvements)} improvement(s) at threshold {diff.threshold:.0%}"
+        f"{len(diff.improvements)} improvement(s), "
+        f"{len(diff.only_a)} removed, {len(diff.only_b)} added "
+        f"at threshold {diff.threshold:.0%}"
     )
+    if not diff.rows and (diff.only_a or diff.only_b):
+        lines.append(
+            "runs share no identities — comparing different workloads? "
+            "(see removed/added lists above)"
+        )
     return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Trace-dataset exporter: kernel launches -> flat learnable records.
+
+ROADMAP item 2 wants a learned cost model trained "from traces the obs
+layer already records".  This module is that training set: every kernel
+span in a v2 trace carries the graph's structural features (memoized
+``sparse.stats`` census), the kernel's configuration token, the device
+constants, the cost model's counters and the simulated/wall time — one
+:data:`RECORD_SCHEMA`-shaped JSON object per launch, written as JSONL
+by ``python -m repro.obs dataset run1.jsonl run2.jsonl -o features.jsonl``.
+
+The schema is declared (a JSON-Schema subset) and enforced by
+:func:`validate_record`, so a regressor pipeline can trust the file
+without defensive parsing; spans recorded by pre-v2 traces (missing the
+deep-profile attributes) are counted as skipped, not silently emitted
+half-empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.analysis import span_key
+from repro.obs.spans import JsonDict
+
+SCHEMA_VERSION = 1
+
+#: JSON-Schema (draft-ish subset: type/properties/required, one level of
+#: nesting) describing one exported record.  ``sim_us`` is the learning
+#: target; everything else is a feature a cost model may condition on.
+RECORD_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "schema_version", "identity", "name", "kind", "kernel", "format",
+        "cached", "f", "rows", "nnz", "graph", "config", "device",
+        "device_num_sms", "device_clock_ghz", "device_dram_gbps",
+        "grid_ctas", "threads_per_cta", "registers_per_thread",
+        "shared_mem_per_cta", "occupancy_warps_per_sm",
+        "occupancy_ctas_per_sm", "occupancy_limiter", "counters",
+        "kind_cycles", "dram_bytes", "cycles", "sm_imbalance",
+        "sim_us", "wall_ms",
+    ],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "identity": {"type": "string"},
+        "name": {"type": "string"},
+        "kind": {"type": "string"},
+        "kernel": {"type": "string"},
+        "format": {"type": "string"},
+        "cached": {"type": "boolean"},
+        "f": {"type": "integer"},
+        "rows": {"type": "integer"},
+        "nnz": {"type": "integer"},
+        "graph": {
+            "type": "object",
+            "required": [
+                "num_vertices", "num_edges", "avg_degree", "max_degree",
+                "degree_cv", "gini", "row_segments_per_128", "density",
+            ],
+            "properties": {
+                "num_vertices": {"type": "integer"},
+                "num_edges": {"type": "integer"},
+                "avg_degree": {"type": "number"},
+                "max_degree": {"type": "integer"},
+                "degree_cv": {"type": "number"},
+                "gini": {"type": "number"},
+                "row_segments_per_128": {"type": "number"},
+                "density": {"type": "number"},
+            },
+        },
+        "config": {"type": "string"},
+        "device": {"type": "string"},
+        "device_num_sms": {"type": "integer"},
+        "device_clock_ghz": {"type": "number"},
+        "device_dram_gbps": {"type": "number"},
+        "device_dram_latency_cycles": {"type": "number"},
+        "grid_ctas": {"type": "integer"},
+        "threads_per_cta": {"type": "integer"},
+        "registers_per_thread": {"type": "integer"},
+        "shared_mem_per_cta": {"type": "integer"},
+        "occupancy_warps_per_sm": {"type": "number"},
+        "occupancy_ctas_per_sm": {"type": "number"},
+        "occupancy_limiter": {"type": "string"},
+        "counters": {"type": "object"},
+        "kind_cycles": {"type": "object"},
+        "dram_bytes": {"type": "number"},
+        "cycles": {"type": "number"},
+        "sm_imbalance": {"type": "number"},
+        "cost_wall_ms": {"type": "number"},
+        "preprocess_s": {"type": "number"},
+        "sim_us": {"type": "number"},
+        "wall_ms": {"type": "number"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "string": lambda v: isinstance(v, str),
+    "boolean": lambda v: isinstance(v, bool),
+    # bool is an int subclass; a boolean where a count belongs is a bug.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+}
+
+
+def _validate(value: Any, schema: dict[str, Any], path: str, problems: list[str]) -> None:
+    check = _TYPE_CHECKS[schema["type"]]
+    if not check(value):
+        problems.append(f"{path}: expected {schema['type']}, got {type(value).__name__}")
+        return
+    if schema["type"] == "object":
+        for name in schema.get("required", ()):
+            if name not in value:
+                problems.append(f"{path}.{name}: missing required field")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                _validate(value[name], sub, f"{path}.{name}", problems)
+
+
+def validate_record(record: JsonDict) -> list[str]:
+    """Problems with one exported record against :data:`RECORD_SCHEMA`
+    (empty list = valid)."""
+    problems: list[str] = []
+    _validate(record, RECORD_SCHEMA, "record", problems)
+    return problems
+
+
+#: kernel-span attributes lifted verbatim into the flat record
+_DIRECT_ATTRS = (
+    "kind", "kernel", "format", "f", "rows", "nnz", "graph", "config",
+    "device", "device_num_sms", "device_clock_ghz", "device_dram_gbps",
+    "device_dram_latency_cycles", "grid_ctas", "threads_per_cta",
+    "registers_per_thread", "shared_mem_per_cta", "occupancy_warps_per_sm",
+    "occupancy_ctas_per_sm", "occupancy_limiter", "counters", "kind_cycles",
+    "dram_bytes", "cycles", "sm_imbalance", "cost_wall_ms", "preprocess_s",
+)
+
+_INTEGER_FIELDS = (
+    "f", "rows", "nnz", "device_num_sms", "grid_ctas", "threads_per_cta",
+    "registers_per_thread", "shared_mem_per_cta",
+)
+
+_INTEGER_GRAPH_FIELDS = ("num_vertices", "num_edges", "max_degree")
+
+
+def record_from_span(rec: JsonDict) -> JsonDict | None:
+    """Flatten one kernel span into a dataset record, or ``None``.
+
+    Returns ``None`` for non-spans, non-kernel spans, error-status
+    launches, and spans missing the v2 deep-profile attributes (a trace
+    recorded by the PR-1 tracer has kernel spans but no graph census).
+    """
+    if rec.get("type") != "span":
+        return None
+    name = str(rec.get("name", ""))
+    if not name.startswith("kernel.") or rec.get("status") != "ok":
+        return None
+    attrs = rec.get("attrs", {})
+    # Launch spans carry ``cached``; dispatch/tuning helper spans share
+    # the name prefix but measured no kernel.
+    if "cached" not in attrs:
+        return None
+    if "graph" not in attrs or "kind_cycles" not in attrs:
+        return None
+    record: JsonDict = {
+        "schema_version": SCHEMA_VERSION,
+        "identity": span_key(rec),
+        "name": name,
+        "cached": bool(attrs.get("cached", False)),
+        "sim_us": rec.get("sim_us"),
+        "wall_ms": rec.get("wall_ms"),
+    }
+    for attr in _DIRECT_ATTRS:
+        if attr in attrs:
+            record[attr] = attrs[attr]
+    # JSON round-trips numpy int64 attrs as plain ints, but an in-memory
+    # capture() list still holds numpy scalars; normalize the declared
+    # integer fields so validation doesn't depend on the record's path.
+    for name_ in _INTEGER_FIELDS:
+        if name_ in record and not isinstance(record[name_], bool):
+            try:
+                record[name_] = int(record[name_])
+            except (TypeError, ValueError):
+                pass
+    graph = record.get("graph")
+    if isinstance(graph, dict):
+        for name_ in _INTEGER_GRAPH_FIELDS:
+            if name_ in graph:
+                graph[name_] = int(graph[name_])
+    return record
+
+
+def records_from_trace(records: Iterable[JsonDict]) -> tuple[list[JsonDict], int]:
+    """(valid dataset records, skipped kernel spans) from one trace."""
+    out: list[JsonDict] = []
+    skipped = 0
+    for rec in records:
+        flat = record_from_span(rec)
+        if flat is None:
+            if (
+                rec.get("type") == "span"
+                and str(rec.get("name", "")).startswith("kernel.")
+                and "cached" in rec.get("attrs", {})
+            ):
+                skipped += 1
+            continue
+        if validate_record(flat):
+            skipped += 1
+            continue
+        out.append(flat)
+    return out, skipped
+
+
+def export_dataset(
+    trace_paths: Iterable[str | Path], out_path: str | Path
+) -> tuple[int, int]:
+    """Export every kernel launch in ``trace_paths`` to JSONL.
+
+    Returns ``(records written, kernel spans skipped)``.  Corrupt trace
+    lines are tolerated (the lenient reader) — a crashed run's partial
+    trace still yields its completed launches.
+    """
+    from repro.obs.export import read_trace_lenient
+
+    written = skipped = 0
+    out = Path(out_path)
+    with out.open("w", encoding="utf-8") as fh:
+        for path in trace_paths:
+            records, _dropped = read_trace_lenient(path)
+            flat, bad = records_from_trace(records)
+            skipped += bad
+            for record in flat:
+                record["trace"] = str(path)
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                written += 1
+    return written, skipped

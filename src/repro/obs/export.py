@@ -88,6 +88,34 @@ def read_trace(path: str | Path) -> list[JsonDict]:
     return records
 
 
+def read_trace_lenient(path: str | Path) -> tuple[list[JsonDict], int]:
+    """Like :func:`read_trace`, but skip unparseable lines.
+
+    A trace cut short by a crash (or a partially flushed last line)
+    should still summarize; returns ``(records, dropped_lines)`` so the
+    CLI can surface a warning count instead of dying on line N.
+    Non-object lines (a bare number or string that *is* valid JSON)
+    count as dropped too — every record must be a JSON object.
+    """
+    records: list[JsonDict] = []
+    dropped = 0
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if not isinstance(rec, dict):
+                dropped += 1
+                continue
+            records.append(rec)
+    return records, dropped
+
+
 #: span attributes surfaced inline in the console tree
 _TREE_ATTRS = ("kernel", "dataset", "f", "experiment", "epoch", "outcome", "error")
 

@@ -10,6 +10,11 @@ default registry (:func:`get_metrics`), tests build their own — and
 Histograms keep exact samples (benchmark sweeps record thousands of
 points, not millions) and report count/mean/p50/p95/max, the summary
 shape the paper's per-kernel breakdown tables use.
+
+With ``REPRO_OBS=off`` (see :mod:`repro.obs.spans`),
+:func:`get_metrics` hands back a shared null registry whose
+instruments are all no-ops, so instrumented hot paths skip the dict
+probes and list appends entirely.
 """
 
 from __future__ import annotations
@@ -17,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs import spans as _spans
 
 
 @dataclass
@@ -130,12 +137,51 @@ class MetricsRegistry:
         self._histograms.clear()
 
 
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the kill-switch path."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0.0
+    samples: list[float] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments discard everything (``REPRO_OBS=off``)."""
+
+    def counter(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+
 _default = MetricsRegistry()
+_null = _NullMetricsRegistry()
 
 
 def get_metrics() -> MetricsRegistry:
-    """The process-global registry instrumented code records into."""
-    return _default
+    """The process-global registry instrumented code records into.
+
+    Returns a shared no-op registry while the ``REPRO_OBS`` kill switch
+    is off, so callers never need their own enabled check.
+    """
+    return _default if _spans._enabled else _null
 
 
 def reset_metrics() -> None:

@@ -1,0 +1,319 @@
+"""Continuous perf-regression tracking: baselines, noise-aware gates.
+
+``diff`` compares two traces ad hoc; this module makes the comparison
+*continuous*: ``python -m repro.obs baseline`` folds one or more runs of
+the canonical perf snapshot into a committed ``baselines/*.json``
+document, and ``python -m repro.obs regress --fail-on-regress`` gates
+every future trace against it.
+
+The two clocks get different rules, because they have different noise:
+
+* **Simulated time is deterministic** — same graph, same kernel config,
+  same device model, same cycle count, every run, every machine.  It is
+  gated (near-)exactly: any identity whose median per-span ``sim_us``
+  exceeds baseline by more than ``sim_rtol`` (default 1e-9, CI uses
+  1e-6 for cross-version float safety) is a regression.  This is the
+  gate CI fails on.
+
+* **Wall time is noisy** (shared runners, thermal state), so the
+  baseline stores a median + MAD noise model per identity and a wall
+  regression needs *both* a large ratio (default 1.5x) *and* a median
+  beyond ``mad_k`` MADs plus an absolute floor.  Wall findings are
+  reported, and only gate when explicitly asked (``--fail-on-wall``).
+
+Identities present on one side only are reported as added/removed —
+a renamed kernel silently dropping out of the gate is itself a finding.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.analysis import span_key
+from repro.obs.spans import JsonDict
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: default fractional tolerance on (deterministic) simulated time
+DEFAULT_SIM_RTOL = 1e-9
+#: wall regression needs cur_median > base_median * (1 + WALL_RATIO) ...
+DEFAULT_WALL_RATIO = 0.5
+#: ... and cur_median > base_median + WALL_MAD_K * MAD + WALL_FLOOR_MS
+DEFAULT_WALL_MAD_K = 5.0
+DEFAULT_WALL_FLOOR_MS = 0.5
+
+
+@dataclass
+class IdentityStats:
+    """Per-identity sample stats over every span carrying sim time."""
+
+    count: int
+    sim_us_median: float
+    sim_us_best: float
+    sim_us_total: float
+    wall_ms_median: float
+    wall_ms_mad: float
+    wall_ms_best: float
+
+    def to_json(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "sim_us_median": self.sim_us_median,
+            "sim_us_best": self.sim_us_best,
+            "sim_us_total": self.sim_us_total,
+            "wall_ms_median": self.wall_ms_median,
+            "wall_ms_mad": self.wall_ms_mad,
+            "wall_ms_best": self.wall_ms_best,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "IdentityStats":
+        return cls(
+            count=int(doc["count"]),
+            sim_us_median=float(doc["sim_us_median"]),
+            sim_us_best=float(doc["sim_us_best"]),
+            sim_us_total=float(doc["sim_us_total"]),
+            wall_ms_median=float(doc["wall_ms_median"]),
+            wall_ms_mad=float(doc["wall_ms_mad"]),
+            wall_ms_best=float(doc["wall_ms_best"]),
+        )
+
+
+def _mad(values: list[float], median: float) -> float:
+    return statistics.median(abs(v - median) for v in values) if values else 0.0
+
+
+def collect_identity_stats(
+    records: Iterable[JsonDict],
+) -> dict[str, IdentityStats]:
+    """Fold a trace into per-identity stats.
+
+    Only spans carrying a numeric ``sim_us`` participate: those are the
+    deterministic, machine-independent measurements (kernel launches,
+    bench points, training epochs); setup/IO spans never enter the gate.
+    """
+    samples: dict[str, tuple[list[float], list[float]]] = {}
+    for rec in records:
+        if rec.get("type") != "span" or rec.get("status") != "ok":
+            continue
+        sim = rec.get("sim_us")
+        if not isinstance(sim, (int, float)):
+            continue
+        sims, walls = samples.setdefault(span_key(rec), ([], []))
+        sims.append(float(sim))
+        wall = rec.get("wall_ms")
+        if isinstance(wall, (int, float)):
+            walls.append(float(wall))
+    stats: dict[str, IdentityStats] = {}
+    for key, (sims, walls) in samples.items():
+        sim_median = statistics.median(sims)
+        wall_median = statistics.median(walls) if walls else 0.0
+        stats[key] = IdentityStats(
+            count=len(sims),
+            sim_us_median=sim_median,
+            sim_us_best=min(sims),
+            sim_us_total=sum(sims),
+            wall_ms_median=wall_median,
+            wall_ms_mad=_mad(walls, wall_median),
+            wall_ms_best=min(walls) if walls else 0.0,
+        )
+    return stats
+
+
+def baseline_from_traces(
+    trace_records: list[list[JsonDict]], *, label: str = ""
+) -> dict[str, Any]:
+    """Fold N runs of the same workload into one baseline document.
+
+    Per identity, the stored wall median / MAD / best come from the
+    pooled per-span samples across all runs (best-of-N: one slow run
+    cannot poison the noise model).  Simulated stats pool too — they
+    are identical across runs by construction, and the regress gate
+    will say so loudly later if they are not.
+    """
+    pooled: dict[str, tuple[list[float], list[float]]] = {}
+    for records in trace_records:
+        for rec in records:
+            if rec.get("type") != "span" or rec.get("status") != "ok":
+                continue
+            sim = rec.get("sim_us")
+            if not isinstance(sim, (int, float)):
+                continue
+            sims, walls = pooled.setdefault(span_key(rec), ([], []))
+            sims.append(float(sim))
+            wall = rec.get("wall_ms")
+            if isinstance(wall, (int, float)):
+                walls.append(float(wall))
+    identities: dict[str, dict[str, float | int]] = {}
+    for key in sorted(pooled):
+        sims, walls = pooled[key]
+        sim_median = statistics.median(sims)
+        wall_median = statistics.median(walls) if walls else 0.0
+        identities[key] = IdentityStats(
+            count=len(sims),
+            sim_us_median=sim_median,
+            sim_us_best=min(sims),
+            sim_us_total=sum(sims),
+            wall_ms_median=wall_median,
+            wall_ms_mad=_mad(walls, wall_median),
+            wall_ms_best=min(walls) if walls else 0.0,
+        ).to_json()
+    return {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "label": label,
+        "runs": len(trace_records),
+        "identities": identities,
+    }
+
+
+def save_baseline(doc: dict[str, Any], path: str | Path) -> None:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "identities" not in doc:
+        raise ValueError(f"{path}: not a baseline document")
+    version = doc.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: baseline schema_version {version!r}, "
+            f"expected {BASELINE_SCHEMA_VERSION}"
+        )
+    return doc
+
+
+@dataclass
+class RegressFinding:
+    """One identity whose current run violates its baseline envelope."""
+
+    key: str
+    clock: str  # "sim" | "wall"
+    base: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        if self.base <= 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.base
+
+
+@dataclass
+class RegressReport:
+    """Outcome of gating one trace against a baseline document."""
+
+    checked: int = 0
+    sim_regressions: list[RegressFinding] = field(default_factory=list)
+    sim_improvements: list[RegressFinding] = field(default_factory=list)
+    wall_regressions: list[RegressFinding] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: simulated time within tolerance, no identities
+        silently dropped.  (Wall findings and additions never gate by
+        default — see ``--fail-on-wall``.)"""
+        return not self.sim_regressions and not self.removed
+
+
+def compare_to_baseline(
+    baseline: dict[str, Any],
+    records: Iterable[JsonDict],
+    *,
+    sim_rtol: float = DEFAULT_SIM_RTOL,
+    wall_ratio: float = DEFAULT_WALL_RATIO,
+    wall_mad_k: float = DEFAULT_WALL_MAD_K,
+    wall_floor_ms: float = DEFAULT_WALL_FLOOR_MS,
+    check_wall: bool = True,
+) -> RegressReport:
+    """Gate one trace against a baseline document (see module docstring
+    for the sim-exact / wall-noise-model rules)."""
+    base = {
+        key: IdentityStats.from_json(doc)
+        for key, doc in baseline.get("identities", {}).items()
+    }
+    current = collect_identity_stats(records)
+    report = RegressReport()
+    report.added = sorted(set(current) - set(base))
+    report.removed = sorted(set(base) - set(current))
+    for key in sorted(set(base) & set(current)):
+        b, c = base[key], current[key]
+        report.checked += 1
+        # Simulated: deterministic, so the envelope is just rtol.
+        if c.sim_us_median > b.sim_us_median * (1.0 + sim_rtol):
+            report.sim_regressions.append(
+                RegressFinding(key, "sim", b.sim_us_median, c.sim_us_median)
+            )
+        elif c.sim_us_median < b.sim_us_median * (1.0 - max(sim_rtol, 1e-12)):
+            report.sim_improvements.append(
+                RegressFinding(key, "sim", b.sim_us_median, c.sim_us_median)
+            )
+        # Wall: noisy, so demand both a big ratio and a median outside
+        # the baseline's MAD envelope plus an absolute floor.
+        if check_wall and b.wall_ms_median > 0:
+            envelope = (
+                b.wall_ms_median + wall_mad_k * b.wall_ms_mad + wall_floor_ms
+            )
+            if (
+                c.wall_ms_median > b.wall_ms_median * (1.0 + wall_ratio)
+                and c.wall_ms_median > envelope
+            ):
+                report.wall_regressions.append(
+                    RegressFinding(key, "wall", b.wall_ms_median, c.wall_ms_median)
+                )
+    report.sim_regressions.sort(key=lambda f: -f.ratio)
+    report.sim_improvements.sort(key=lambda f: f.ratio)
+    report.wall_regressions.sort(key=lambda f: -f.ratio)
+    return report
+
+
+def format_regress_report(
+    report: RegressReport, *, label: str = "", limit: int = 25
+) -> str:
+    lines = []
+    header = f"regress check vs baseline{f' {label!r}' if label else ''}: "
+    header += f"{report.checked} identities compared"
+    lines.append(header)
+    if report.sim_regressions:
+        lines.append(f"SIMULATED-TIME REGRESSIONS ({len(report.sim_regressions)}):")
+        for f in report.sim_regressions[:limit]:
+            lines.append(
+                f"  {f.key}: {f.base:,.3f} -> {f.current:,.3f} us "
+                f"({f.ratio:.4f}x)"
+            )
+    if report.sim_improvements:
+        lines.append(f"simulated-time improvements ({len(report.sim_improvements)}):")
+        for f in report.sim_improvements[:limit]:
+            lines.append(
+                f"  {f.key}: {f.base:,.3f} -> {f.current:,.3f} us "
+                f"({f.ratio:.4f}x)"
+            )
+    if report.wall_regressions:
+        lines.append(
+            f"wall-time findings ({len(report.wall_regressions)}, "
+            "noise-gated, informational unless --fail-on-wall):"
+        )
+        for f in report.wall_regressions[:limit]:
+            lines.append(
+                f"  {f.key}: {f.base:.2f} -> {f.current:.2f} ms ({f.ratio:.2f}x)"
+            )
+    for key in report.removed:
+        lines.append(f"REMOVED from current run (gate coverage lost): {key}")
+    for key in report.added:
+        lines.append(f"added (not in baseline, not gated): {key}")
+    verdict = "OK" if report.ok else "FAIL"
+    lines.append(
+        f"{verdict}: {len(report.sim_regressions)} sim regression(s), "
+        f"{len(report.wall_regressions)} wall finding(s), "
+        f"{len(report.removed)} removed, {len(report.added)} added"
+    )
+    return "\n".join(lines)

@@ -15,6 +15,13 @@ instrumented hot paths (every kernel ``__call__``, every ``Module``
 forward) pay one truthiness check.  Install a sink with
 :func:`add_sink`, :func:`repro.obs.export.trace_to` (JSONL file), or
 :func:`capture` (in-memory list, for tests).
+
+``REPRO_OBS=off`` is the process-wide kill switch: spans stay null even
+with sinks installed and the metrics registry degrades to a shared
+no-op (:mod:`repro.obs.metrics`), so a latency-critical run pays only
+the one boolean check per instrumentation point
+(``scripts/obs_overhead.py`` pins the overhead under 2% on a warm
+fig04 sweep).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import itertools
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Protocol
@@ -33,6 +41,32 @@ _ids = itertools.count(1)
 
 #: installed sinks; tracing is enabled iff this is non-empty
 _sinks: list["TraceSink"] = []
+
+_ENV_SWITCH = "REPRO_OBS"
+
+#: tri-state programmatic override: None = follow the env switch.
+_enabled_override: bool | None = None
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_SWITCH, "").strip().lower() not in ("off", "0", "false")
+
+
+#: cached kill-switch state, re-read only via :func:`set_obs_enabled` —
+#: the hot paths check this one module-level bool.
+_enabled: bool = _env_enabled()
+
+
+def obs_enabled() -> bool:
+    """Is the observability layer active (``REPRO_OBS`` kill switch)?"""
+    return _enabled
+
+
+def set_obs_enabled(enabled: bool | None) -> None:
+    """Force observability on/off; ``None`` re-reads ``REPRO_OBS``."""
+    global _enabled_override, _enabled
+    _enabled_override = enabled
+    _enabled = _env_enabled() if enabled is None else bool(enabled)
 
 _stack: contextvars.ContextVar[tuple["Span", ...]] = contextvars.ContextVar(
     "repro_obs_span_stack", default=()
@@ -101,7 +135,7 @@ NULL_SPAN = _NullSpan()
 
 
 def tracing_enabled() -> bool:
-    return bool(_sinks)
+    return bool(_sinks) and _enabled
 
 
 def current_span() -> Span | None:
@@ -129,7 +163,7 @@ class span:
         self._token = None
 
     def __enter__(self) -> Span | _NullSpan:
-        if not _sinks:
+        if not _sinks or not _enabled:
             return NULL_SPAN
         parent = current_span()
         sp = Span(
@@ -160,7 +194,7 @@ class span:
 
 def event(name: str, **attrs: Any) -> None:
     """Record an instantaneous event under the current span (if tracing)."""
-    if not _sinks:
+    if not _sinks or not _enabled:
         return
     parent = current_span()
     _emit(
