@@ -259,6 +259,17 @@ def clear_plan_cache() -> None:
     _default.clear()
 
 
+def reset_lock_after_fork() -> None:
+    """Give the global cache a fresh lock in a forked child.
+
+    A fork can land while another thread holds the cache ``RLock``; the
+    child inherits it half-held and would deadlock on first lookup.
+    Entries themselves are plain data and stay valid.  Registered by
+    :mod:`repro.exec.forksafe`.
+    """
+    _default._lock = threading.RLock()
+
+
 def plan_key(
     structure_token: str,
     kernel_token: Hashable,

@@ -1,0 +1,94 @@
+"""Pluggable numerics backends for the execution engine.
+
+``REPRO_EXEC_BACKEND`` selects where sharded kernel numerics run:
+
+* ``thread`` (default) — the original persistent thread pool;
+  behavior-identical to every release before backends existed.
+* ``process`` — a spawn process pool over shared-memory resident
+  shards; graph structure uploads once per structure token, steady-
+  state launches ship zero graph bytes.
+* ``compiled`` — numba-JIT whole-launch kernels when numba is
+  importable, the exact eager numpy numerics otherwise.
+
+All three are bit-identical by construction (the parity property suite
+gates it); they differ only in wall-clock scaling.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError
+from repro.exec.backends.base import (
+    RETRY_BACKOFF_MAX_S,
+    RETRY_BACKOFF_S,
+    NumericsBackend,
+    ShardLaunch,
+    run_shard_with_retries,
+)
+from repro.exec.backends.compiled import NUMBA_AVAILABLE, CompiledBackend
+from repro.exec.backends.process import ProcessBackend, SharedShardStore
+from repro.exec.backends.thread import ThreadBackend
+
+_ENV_BACKEND = "REPRO_EXEC_BACKEND"
+DEFAULT_BACKEND = "thread"
+
+_BACKENDS: dict[str, type[NumericsBackend]] = {
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+    "compiled": CompiledBackend,
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(_BACKENDS)
+
+
+def available_backends() -> dict[str, bool]:
+    """name -> True when the backend runs in its accelerated form here.
+
+    ``compiled`` is always *selectable* (it falls back to eager numpy)
+    but only reports True when numba is importable.
+    """
+    return {"thread": True, "process": True, "compiled": NUMBA_AVAILABLE}
+
+
+def resolve_backend_name() -> str:
+    """Backend name from ``REPRO_EXEC_BACKEND`` (default ``thread``)."""
+    raw = os.environ.get(_ENV_BACKEND)
+    if raw is None or raw.strip() == "":
+        return DEFAULT_BACKEND
+    name = raw.strip().lower()
+    if name not in _BACKENDS:
+        raise ConfigError(
+            f"{_ENV_BACKEND} must be one of {sorted(_BACKENDS)}, got {raw!r}"
+        )
+    return name
+
+
+def create_backend(name: str, engine) -> NumericsBackend:
+    cls = _BACKENDS.get(name)
+    if cls is None:
+        raise ConfigError(
+            f"unknown exec backend {name!r}; expected one of {sorted(_BACKENDS)}"
+        )
+    return cls(engine)
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "NUMBA_AVAILABLE",
+    "NumericsBackend",
+    "ShardLaunch",
+    "SharedShardStore",
+    "ThreadBackend",
+    "ProcessBackend",
+    "CompiledBackend",
+    "RETRY_BACKOFF_S",
+    "RETRY_BACKOFF_MAX_S",
+    "available_backends",
+    "backend_names",
+    "create_backend",
+    "resolve_backend_name",
+    "run_shard_with_retries",
+]

@@ -1,0 +1,50 @@
+"""Thread-pool backend — the engine's original fan-out, unchanged.
+
+Each block runs :func:`run_shard_with_retries` on the engine's
+persistent ``ThreadPoolExecutor``; scipy's CSR loops and the SDDMM
+gather release the GIL, so blocks genuinely overlap.  Spans inherit the
+launch context through ``contextvars.copy_context`` and are labelled
+with the executing ``repro-exec`` thread name.
+"""
+
+from __future__ import annotations
+
+import contextvars
+
+from repro.exec.backends.base import (
+    NumericsBackend,
+    ShardLaunch,
+    run_shard_with_retries,
+)
+
+
+class ThreadBackend(NumericsBackend):
+    """Default backend: shards on the engine's thread pool."""
+
+    name = "thread"
+
+    def run_blocks(self, launch: ShardLaunch) -> list[float]:
+        executor = self.engine._ensure_executor()
+        reset = launch.block_reset
+        futures = []
+        for b in launch.blocks:
+            ctx = contextvars.copy_context()
+            futures.append(
+                executor.submit(
+                    ctx.run, run_shard_with_retries,
+                    self.engine, launch.kind, b, launch.run_block, reset,
+                )
+            )
+        # Drain every future before surfacing a failure: a straggler
+        # shard must never keep writing into a buffer the caller has
+        # already released back to the pool.
+        errors: list[BaseException] = []
+        shard_ms: list[float] = []
+        for f in futures:
+            try:
+                shard_ms.append(f.result())
+            except Exception as e:  # noqa: BLE001 - collected, re-raised below
+                errors.append(e)
+        if errors:
+            raise errors[0]
+        return shard_ms

@@ -2,17 +2,27 @@
 
 After the structural plan cache (PR 2), a warm kernel launch runs
 *only* its numerics — one serial scipy/NumPy call.  This module makes
-that remaining half scale on multi-core hosts: a persistent
-``ThreadPoolExecutor`` executes each launch's numerics as NNZ-balanced
-row blocks (:mod:`repro.exec.sharding`), each block writing its own
-rows/edges of a pooled pre-allocated output buffer.  scipy's CSR loops
-and NumPy's einsum release the GIL, so blocks genuinely overlap.
+that remaining half scale on multi-core hosts: each launch's numerics
+run as NNZ-balanced row blocks (:mod:`repro.exec.sharding`) on a
+pluggable :class:`~repro.exec.backends.NumericsBackend`, each block
+writing its own rows/edges of a pooled pre-allocated output buffer.
+``REPRO_EXEC_BACKEND`` selects the mechanism:
+
+* ``thread`` (default) — the persistent ``ThreadPoolExecutor``; scipy's
+  CSR loops and the SDDMM gather release the GIL, so blocks overlap.
+* ``process`` — a spawn process pool over shared-memory resident
+  shards (:mod:`repro.exec.backends.process`): graph structure uploads
+  once per structure token, steady-state launches ship zero graph
+  bytes, and scaling is no longer GIL-bound.
+* ``compiled`` — numba-JIT whole-launch kernels
+  (:mod:`repro.exec.backends.compiled`) when numba is importable, the
+  exact eager numpy numerics otherwise.
 
 Correctness invariant: row blocks never share an output row (SpMM/SpMV)
 and NZE ranges never share an output edge (SDDMM), so no atomics are
-needed and the sharded output is **bit-identical** to the serial path
-(the property suite pins this).  Simulated device times are untouched —
-the engine only reorganizes host work.
+needed and every backend's output is **bit-identical** to the serial
+path (the parity property suite pins all three).  Simulated device
+times are untouched — the engine only reorganizes host work.
 
 ``REPRO_EXEC_WORKERS`` selects the worker count (default 1 = the serial
 path, so all simulated-time figures are unchanged);
@@ -20,18 +30,22 @@ path, so all simulated-time figures are unchanged);
 fan-out overhead would dominate.  The engine also exposes
 :meth:`ExecutionEngine.map` for embarrassingly parallel sweeps (the
 bench harness runs independent ``(dataset, F)`` points through it);
-nested parallelism from inside a worker thread degrades to serial, so
-sweep-level and shard-level parallelism compose without deadlock.
+``map`` always runs on the engine's *thread* pool — sweep closures are
+not picklable — and launches issued from inside a map worker are
+pinned serial, so sweep-level parallelism never oversubscribes a
+second shard pool (thread or process) per worker.
 
 Resilience (:mod:`repro.resilience`): each shard gets a bounded retry
 budget (``REPRO_EXEC_RETRIES``, exponential backoff on stalls and
 worker exceptions); a shard that exhausts it — or a sharded output
 that fails the finite-value guard — degrades the *launch* to the exact
-serial numerics, which stay bit-identical to the fault-free run.
-Repeated launch failures mark the pool unhealthy and route every
-subsequent launch serially until :meth:`ExecutionEngine.reset_health`.
-Every recovery emits ``resilience.retry`` / ``resilience.degraded``
-counters and obs events, so chaos runs are auditable from the trace.
+serial numerics, which stay bit-identical to the fault-free run.  A
+dead worker process (``BrokenProcessPool``) rebuilds the pool and
+follows the same retry/degrade path as a thread fault.  Repeated
+launch failures mark the pool unhealthy and route every subsequent
+launch serially until :meth:`ExecutionEngine.reset_health`.  Every
+recovery emits ``resilience.retry`` / ``resilience.degraded`` counters
+and obs events, so chaos runs are auditable from the trace.
 """
 
 from __future__ import annotations
@@ -40,15 +54,20 @@ import contextlib
 import contextvars
 import os
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 import numpy as np
 
 from repro import obs
 from repro.errors import ConfigError, ShardExecutionError
 from repro.exec import numerics
+from repro.exec.backends import create_backend, resolve_backend_name
+from repro.exec.backends.base import (  # noqa: F401 - re-exported for compat
+    RETRY_BACKOFF_MAX_S,
+    RETRY_BACKOFF_S,
+    ShardLaunch,
+)
 from repro.exec.sharding import RowBlock, ShardPlan, edge_range_bounds, row_shard_plan
 from repro.resilience import faults, validation
 from repro.sparse.coo import COOMatrix
@@ -66,10 +85,6 @@ DEFAULT_MIN_PARALLEL_NNZ = 4096
 
 #: per-shard attempts beyond the first (bounded retry budget)
 DEFAULT_RETRIES = 2
-
-#: base backoff before a shard retry; doubles per attempt, capped below
-RETRY_BACKOFF_S = 0.001
-RETRY_BACKOFF_MAX_S = 0.05
 
 #: consecutive failed parallel launches before the pool is deemed
 #: unhealthy and everything degrades to serial until reset_health()
@@ -149,13 +164,14 @@ class BufferPool:
 
 
 class ExecutionEngine:
-    """Persistent thread-pool runner for sharded kernel numerics."""
+    """Persistent runner for sharded kernel numerics on a backend."""
 
     def __init__(
         self,
         workers: int | None = None,
         *,
         min_parallel_nnz: int | None = None,
+        backend: str | None = None,
     ):
         self.workers = resolve_workers() if workers is None else max(1, int(workers))
         self.min_parallel_nnz = (
@@ -171,10 +187,13 @@ class ExecutionEngine:
         self._health_lock = threading.Lock()
         self._consecutive_failures = 0
         self._unhealthy = False
+        name = resolve_backend_name() if backend is None else str(backend).lower()
+        self.backend = create_backend(name, self)
         obs.get_metrics().gauge("exec.workers").set(self.workers)
 
     # ------------------------------------------------------------- pool
     def _ensure_executor(self) -> ThreadPoolExecutor:
+        """The engine's *thread* pool (thread-backend shards, ``map``)."""
         if self._executor is None:
             with self._executor_lock:
                 if self._executor is None:
@@ -196,12 +215,14 @@ class ExecutionEngine:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=wait)
+        self.backend.shutdown(wait=wait)
         self.pool.clear()
 
     def _parallel_ok(self, nnz: int) -> bool:
+        if self.backend.needs_workers and self.workers <= 1:
+            return False
         return (
-            self.workers > 1
-            and nnz >= self.min_parallel_nnz
+            nnz >= self.min_parallel_nnz
             and not self._in_worker()
             and not self._unhealthy
         )
@@ -237,7 +258,7 @@ class ExecutionEngine:
         """Account one launch-level degrade-to-serial recovery."""
         self._record_launch_failure()
         obs.get_metrics().counter("resilience.degraded").inc()
-        obs.event("resilience.degraded", kind=kind, reason=reason)
+        obs.event("resilience.degraded", kind=kind, reason=reason, backend=self.backend.name)
 
     # ---------------------------------------------------------- kernels
     def spmm(self, A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.ndarray:
@@ -258,10 +279,35 @@ class ExecutionEngine:
             return numerics.csr_spmm_serial(A, edge_values, x)
         return self._sharded_csr("spmv", A, edge_values, x)
 
-    def _sharded_csr(self, kind: str, A: COOMatrix, edge_values, X) -> np.ndarray:
+    def gat_alpha(
+        self,
+        A: COOMatrix,
+        el: np.ndarray,
+        er: np.ndarray,
+        *,
+        negative_slope: float = 0.2,
+    ) -> np.ndarray:
+        """Fused-GAT edge softmax (scores + segment softmax), backend-routed.
+
+        ``A`` must be CSR-ordered (the fused kernels sort first).  The
+        compiled backend JITs the score pass; every backend keeps the
+        segment-sum and ``exp`` on the same numpy kernels, so alpha is
+        bit-identical across backends.
+        """
+        el = np.asarray(el, dtype=np.float64)
+        er = np.asarray(er, dtype=np.float64)
+        return self.backend.gat_alpha(A, el, er, negative_slope=negative_slope)
+
+    def _csr_blocks(self, A: COOMatrix) -> tuple[ShardPlan | None, list[RowBlock]]:
+        """Shard plan + blocks for a row-parallel launch on this backend."""
+        if self.backend.whole_launch:
+            return None, [RowBlock(0, 0, A.num_rows, 0, A.nnz)]
         plan = row_shard_plan(A, self.workers)
-        blocks = plan.nonempty_blocks()
-        if len(blocks) <= 1:
+        return plan, plan.nonempty_blocks()
+
+    def _sharded_csr(self, kind: str, A: COOMatrix, edge_values, X) -> np.ndarray:
+        plan, blocks = self._csr_blocks(A)
+        if not self.backend.whole_launch and len(blocks) <= 1:
             obs.get_metrics().counter("exec.launch.serial").inc()
             return numerics.csr_spmm_serial(A, edge_values, X)
         indptr, cols, perm = A.csr_arrays()
@@ -278,18 +324,13 @@ class ExecutionEngine:
         Xc = np.ascontiguousarray(X)
         shape = (A.num_rows,) if Xc.ndim == 1 else (A.num_rows, Xc.shape[1])
         out = self.pool.acquire(shape, zero=True)
-
-        def block_fn(b: RowBlock) -> None:
-            numerics.csr_block_spmm(
-                indptr, cols, data, Xc, out,
-                b.row_start, b.row_end, b.nnz_start, b.nnz_end, A.num_cols,
-            )
-
-        def block_reset(b: RowBlock) -> None:
-            out[b.row_start : b.row_end] = 0.0
-
+        launch = ShardLaunch(
+            kind=kind, op="csr", blocks=blocks, out=out,
+            structure_token=A.structure_token,
+            indptr=indptr, cols=cols, data=data, X=Xc, num_cols=A.num_cols,
+        )
         try:
-            self._run_blocks(kind, plan, blocks, block_fn, block_reset)
+            self._run_blocks(plan, launch)
         except ShardExecutionError as e:
             self._degrade(kind, f"shard-failure: {e}")
             self.pool.release(out)
@@ -311,7 +352,10 @@ class ExecutionEngine:
         # Per-edge outputs: row-aligned NZE ranges when the COO is
         # CSR-ordered (the common case — same blocks as SpMM), plain
         # equal ranges otherwise.  Either way output slices are disjoint.
-        if A.is_csr_ordered():
+        if self.backend.whole_launch:
+            plan = None
+            blocks = [RowBlock(0, 0, 0, 0, A.nnz)]
+        elif A.is_csr_ordered():
             plan = row_shard_plan(A, self.workers)
             blocks = plan.nonempty_blocks()
         else:
@@ -322,7 +366,7 @@ class ExecutionEngine:
                 for i in range(len(bounds) - 1)
                 if bounds[i + 1] > bounds[i]
             ]
-        if len(blocks) <= 1:
+        if not self.backend.whole_launch and len(blocks) <= 1:
             obs.get_metrics().counter("exec.launch.serial").inc()
             return numerics.sddmm_serial(A, X, Y)
         injector = faults.get_injector()
@@ -334,13 +378,13 @@ class ExecutionEngine:
             edge = injector.value_index("exec.value_nan", A.nnz)
             Xs[int(A.rows[edge]), 0] = np.nan
         out = self.pool.acquire((A.nnz,), zero=False)
-        rows, cols = A.rows, A.cols
-
-        def block_fn(b: RowBlock) -> None:
-            numerics.sddmm_block(rows, cols, Xs, Y, out, b.nnz_start, b.nnz_end)
-
+        launch = ShardLaunch(
+            kind="sddmm", op="sddmm", blocks=blocks, out=out,
+            structure_token=A.structure_token,
+            rows=A.rows, cols=A.cols, X=Xs, Y=Y,
+        )
         try:
-            self._run_blocks("sddmm", plan, blocks, block_fn, None)
+            self._run_blocks(plan, launch)
         except ShardExecutionError as e:
             self._degrade("sddmm", f"shard-failure: {e}")
             self.pool.release(out)
@@ -363,41 +407,19 @@ class ExecutionEngine:
         (``REPRO_VALIDATE=full``) — the scan is O(output)."""
         return injector.armed("exec.value_nan") or validation.validation_level() == "full"
 
-    def _run_blocks(
-        self,
-        kind: str,
-        plan: ShardPlan | None,
-        blocks: Sequence[RowBlock],
-        block_fn: Callable[[RowBlock], None],
-        block_reset: Callable[[RowBlock], None] | None = None,
-    ) -> None:
+    def _run_blocks(self, plan: ShardPlan | None, launch: ShardLaunch) -> None:
+        """One parallel launch on the backend, wrapped in accounting."""
         metrics = obs.get_metrics()
         metrics.counter("exec.launch.parallel").inc()
         imbalance = plan.imbalance if plan is not None else 1.0
         metrics.histogram("exec.shard_imbalance").observe(imbalance)
-        executor = self._ensure_executor()
+        blocks = launch.blocks
         with obs.span(
-            "exec.parallel", kind=kind, workers=self.workers,
-            shards=len(blocks), shard_imbalance=imbalance,
+            "exec.parallel", kind=launch.kind, backend=self.backend.name,
+            workers=self.workers, shards=len(blocks), shard_imbalance=imbalance,
         ) as sp:
-            futures = []
-            for b in blocks:
-                ctx = contextvars.copy_context()
-                futures.append(
-                    executor.submit(
-                        ctx.run, self._run_shard, kind, b, block_fn, block_reset
-                    )
-                )
-            # Drain every future before surfacing a failure: a straggler
-            # shard must never keep writing into a buffer the caller has
-            # already released back to the pool.
-            errors: list[BaseException] = []
-            shard_ms: list[float] = []
-            for f in futures:
-                try:
-                    shard_ms.append(f.result())
-                except Exception as e:  # noqa: BLE001 - collected, re-raised below
-                    errors.append(e)
+            shard_ms = self.backend.run_blocks(launch)
+            launch.shard_wall_ms = shard_ms
             if shard_ms:
                 # Measured (wall) imbalance alongside the planned NNZ
                 # imbalance: the timeline/profile views compare the two
@@ -408,57 +430,6 @@ class ExecutionEngine:
                     shard_wall_ms_mean=mean_ms,
                     measured_imbalance=max(shard_ms) / mean_ms if mean_ms > 0 else 1.0,
                 )
-            if errors:
-                raise errors[0]
-
-    def _run_shard(self, kind: str, block: RowBlock, block_fn, block_reset) -> float:
-        """One shard with a bounded retry budget and exponential backoff.
-
-        Returns the successful attempt's wall milliseconds (fed into the
-        launch's measured-imbalance attribution).  Injected faults
-        consume a fresh injector occurrence per attempt, so transient
-        failures clear on retry exactly like flaky real workers; a shard
-        that fails every attempt raises :class:`ShardExecutionError` and
-        the launch degrades to serial.
-        """
-        injector = faults.get_injector()
-        metrics = obs.get_metrics()
-        last_error: BaseException | None = None
-        for attempt in range(self.max_attempts):
-            try:
-                t0 = time.perf_counter()
-                with obs.span(
-                    "exec.shard", kind=kind, shard=block.index,
-                    rows=block.num_rows, nnz=block.nnz, attempt=attempt,
-                    worker=threading.current_thread().name,
-                ):
-                    if injector.enabled:
-                        injector.maybe_raise(
-                            "exec.worker_raise", kind=kind, shard=block.index
-                        )
-                        injector.maybe_stall(
-                            "exec.shard_stall", kind=kind, shard=block.index
-                        )
-                    block_fn(block)
-                wall_ms = (time.perf_counter() - t0) * 1e3
-                metrics.histogram("exec.shard_wall_ms").observe(wall_ms)
-                return wall_ms
-            except Exception as e:  # noqa: BLE001 - bounded retry, then typed raise
-                last_error = e
-                if attempt + 1 >= self.max_attempts:
-                    break
-                metrics.counter("resilience.retry").inc()
-                obs.event(
-                    "resilience.retry", kind=kind, shard=block.index,
-                    attempt=attempt, error=type(e).__name__,
-                )
-                if block_reset is not None:
-                    block_reset(block)
-                time.sleep(min(RETRY_BACKOFF_S * 2**attempt, RETRY_BACKOFF_MAX_S))
-        raise ShardExecutionError(
-            f"shard {block.index} ({kind}) failed after "
-            f"{self.max_attempts} attempts: {last_error}"
-        ) from last_error
 
     def map(
         self,
@@ -472,7 +443,11 @@ class ExecutionEngine:
         Order-preserving.  Falls back to a plain loop with one worker,
         a single item, or when called from inside an engine worker
         thread (so sweep-level and shard-level parallelism never nest
-        into a deadlock on the shared pool).
+        into a deadlock on the shared pool).  Always runs on the
+        engine's *thread* pool regardless of the shard backend — sweep
+        closures are not picklable, and the in-worker pin above keeps a
+        process backend from fanning a second pool out of every map
+        worker.
         """
         items = list(items)
         if self.workers <= 1 or len(items) <= 1 or self._in_worker():
@@ -514,10 +489,17 @@ def set_exec_workers(workers: int | None) -> None:
 
 
 @contextlib.contextmanager
-def exec_workers(workers: int, *, min_parallel_nnz: int | None = None):
+def exec_workers(
+    workers: int,
+    *,
+    min_parallel_nnz: int | None = None,
+    backend: str | None = None,
+):
     """Temporarily swap in an engine with the given worker count (tests)."""
     global _default
-    override = ExecutionEngine(workers, min_parallel_nnz=min_parallel_nnz)
+    override = ExecutionEngine(
+        workers, min_parallel_nnz=min_parallel_nnz, backend=backend
+    )
     with _default_lock:
         prev, _default = _default, override
     try:

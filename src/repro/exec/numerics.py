@@ -10,9 +10,20 @@ Bit-identity argument: scipy's ``csr @ dense`` is one C loop per row
 accumulating NZEs in CSR order (``csr_matvecs``); running the same loop
 per row block over absolute ``indptr`` slices of the *same* shared
 ``cols``/``vals`` arrays performs the identical per-row instruction
-sequence, so block outputs match the serial sweep bit-for-bit.  SDDMM's
-per-edge dots are independent of batching, so contiguous NZE slices of
-the gathered einsum are likewise bit-identical.
+sequence, so block outputs match the serial sweep bit-for-bit.  SDDMM
+accumulates each edge dot in ascending feature order — one elementwise
+``out += X[:, k] * Y[:, k]`` pass per feature — which is the *defined*
+summation order every backend reproduces: per-edge dots are independent
+of batching (thread/process blocks), and a scalar ``for k`` loop (the
+numba backend) performs the identical add sequence.  ``np.einsum``
+would be marginally faster here but uses SIMD partial accumulators, so
+its last-bit results are not reproducible by a scalar kernel — the
+cross-backend bit-identity gate is worth the extra feature passes.
+
+The fused-GAT edge softmax keeps ``np.maximum.reduceat`` (max is
+association-free), ``np.add.reduceat`` and ``np.exp`` as its canonical
+kernels; compiled backends may re-implement the elementwise pieces but
+must reuse numpy for the pairwise segment sum and libm ``exp``.
 """
 
 from __future__ import annotations
@@ -39,10 +50,23 @@ def csr_spmm_serial(A: COOMatrix, edge_values: np.ndarray, X: np.ndarray) -> np.
     return M @ np.asarray(X)
 
 
+def _gathered_dot(Xg: np.ndarray, Yg: np.ndarray) -> np.ndarray:
+    """Row-wise dot of two gathered (n, F) operands, feature-ascending.
+
+    One elementwise pass per feature pins the accumulation order: for
+    every row the adds happen in ascending ``k``, exactly the sequence
+    a scalar ``for k`` loop (numba) performs — see the module docstring.
+    """
+    out = np.zeros(Xg.shape[0], dtype=np.result_type(Xg.dtype, Yg.dtype, np.float64))
+    for k in range(Xg.shape[1]):
+        out += Xg[:, k] * Yg[:, k]
+    return out
+
+
 def sddmm_serial(A: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
     """``W[e] = <X[row_e], Y[col_e]>`` in the caller's edge order."""
     X, Y = np.asarray(X), np.asarray(Y)
-    return np.einsum("ef,ef->e", X[A.rows], Y[A.cols])
+    return _gathered_dot(X[A.rows], Y[A.cols])
 
 
 def csr_block_spmm(
@@ -106,4 +130,34 @@ def sddmm_block(
 ) -> None:
     """Fill edges ``[nnz_start, nnz_end)`` of the gathered-dot SDDMM."""
     s = slice(nnz_start, nnz_end)
-    out[s] = np.einsum("ef,ef->e", X[rows[s]], Y[cols[s]])
+    out[s] = _gathered_dot(X[rows[s]], Y[cols[s]])
+
+
+def gat_edge_softmax_serial(
+    A: COOMatrix,
+    el: np.ndarray,
+    er: np.ndarray,
+    *,
+    negative_slope: float = 0.2,
+) -> np.ndarray:
+    """Fused-GAT edge pipeline: leaky-relu scores + per-row softmax.
+
+    ``A`` must be CSR-ordered so each row's edges form one contiguous
+    segment.  This is the canonical alpha every backend must match
+    bit-for-bit; the segment reductions deliberately stay on numpy's
+    ``reduceat`` kernels (see module docstring).
+    """
+    rows, cols = A.rows, A.cols
+    scores = el[rows] + er[cols]
+    scores = np.where(scores > 0, scores, negative_slope * scores)
+    if not A.nnz:
+        return scores
+    bounds = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
+    seg_max = np.maximum.reduceat(scores, bounds)
+    full_max = np.zeros(A.num_rows)
+    full_max[rows[bounds]] = seg_max
+    ex = np.exp(scores - full_max[rows])
+    seg_sum = np.add.reduceat(ex, bounds)
+    full_sum = np.ones(A.num_rows)
+    full_sum[rows[bounds]] = seg_sum
+    return ex / full_sum[rows]

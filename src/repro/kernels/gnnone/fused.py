@@ -51,24 +51,14 @@ def fused_gat_attention_numerics(
     negative_slope: float = 0.2,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Reference numerics of the fused layer: returns (alpha, Y)."""
-    rows, cols = coo.rows, coo.cols
-    scores = el[rows] + er[cols]
-    scores = np.where(scores > 0, scores, negative_slope * scores)
-    # segment softmax over rows (CSR-ordered)
-    if coo.nnz:
-        bounds = np.flatnonzero(np.r_[True, rows[1:] != rows[:-1]])
-        seg_max = np.maximum.reduceat(scores, bounds)
-        full_max = np.zeros(coo.num_rows)
-        full_max[rows[bounds]] = seg_max
-        ex = np.exp(scores - full_max[rows])
-        seg_sum = np.add.reduceat(ex, bounds)
-        full_sum = np.ones(coo.num_rows)
-        full_sum[rows[bounds]] = seg_sum
-        alpha = ex / full_sum[rows]
-    else:
-        alpha = scores
+    from repro.exec import get_engine
     from repro.kernels.gnnone.spmm import csr_replay_spmm
 
+    # Both halves route through the execution engine's backend: the
+    # compiled backend JITs the score pass, the process/thread backends
+    # shard the aggregation SpMM — alpha and Y stay bit-identical to
+    # the serial numerics on every backend.
+    alpha = get_engine().gat_alpha(coo, el, er, negative_slope=negative_slope)
     Y = csr_replay_spmm(coo, alpha, np.asarray(X, dtype=np.float64))
     return alpha, Y
 

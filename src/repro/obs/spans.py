@@ -143,6 +143,16 @@ def current_span() -> Span | None:
     return stack[-1] if stack else None
 
 
+def reset_context_after_fork() -> None:
+    """Clear the inherited span stack in a forked child.
+
+    A fork taken mid-span would otherwise parent every span the child
+    opens under a span object whose ``__exit__`` runs only in the
+    parent.  Registered by :mod:`repro.exec.forksafe`.
+    """
+    _stack.set(())
+
+
 class span:
     """Context manager opening a nested span; no-op when tracing is off.
 

@@ -252,6 +252,19 @@ def reset_injector() -> None:
         _default = None
 
 
+def reset_locks_after_fork() -> None:
+    """Replace injector locks in a forked child (they may be mid-held).
+
+    Schedules are kept — a child that re-runs work sees the same
+    deterministic fault sequence as its parent would have.  Registered
+    by :mod:`repro.exec.forksafe`.
+    """
+    global _default_lock
+    _default_lock = threading.Lock()
+    if _default is not None:
+        _default._lock = threading.Lock()
+
+
 @contextlib.contextmanager
 def fault_profile(spec: str | None, seed: int = 0):
     """Temporarily swap in a profile (tests); restores the previous injector."""
