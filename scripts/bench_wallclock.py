@@ -383,24 +383,15 @@ def _check_workers(report: dict) -> list[str]:
 
 
 def _append_trajectory(path: str, entry: dict) -> None:
-    """Append one headline record to the cumulative trajectory file.
+    """Record one headline entry, SHA-stamped and deduplicated.
 
-    ``BENCH_trajectory.json`` is a growing JSON array, one entry per
-    bench run, so perf moves are visible across commits without diffing
-    whole reports; a corrupt/missing file restarts the list rather than
-    crashing the bench.
+    Delegates to :func:`repro.bench.trajectory.append_trajectory`: a
+    re-run of the same benchmark at the same commit replaces its prior
+    entry, so iterating locally doesn't inflate the trajectory.
     """
-    trajectory: list = []
-    p = Path(path)
-    if p.exists():
-        try:
-            loaded = json.loads(p.read_text(encoding="utf-8"))
-            if isinstance(loaded, list):
-                trajectory = loaded
-        except (OSError, ValueError):
-            pass
-    trajectory.append(entry)
-    p.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    from repro.bench.trajectory import append_trajectory
+
+    append_trajectory(path, entry)
 
 
 def main(argv: list[str] | None = None) -> int:

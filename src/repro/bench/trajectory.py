@@ -1,0 +1,72 @@
+"""Cumulative headline-numbers trajectory (``BENCH_trajectory.json``).
+
+Every bench script appends one headline record per run so perf moves
+stay visible across commits without diffing whole reports.  Entries are
+stamped with the git SHA of the working tree, and a re-run of the same
+benchmark at the same SHA *replaces* its previous entry instead of
+appending — repeated local runs while iterating on one commit no longer
+inflate the trajectory, while runs across commits still accumulate.
+
+Legacy entries written before SHA stamping (no ``"sha"`` key) are
+preserved untouched; they can never match a stamped entry.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+
+def git_sha(short: bool = True) -> str | None:
+    """The working tree's commit SHA, or ``None`` outside a repo."""
+    cmd = ["git", "rev-parse", "--short" if short else "--verify", "HEAD"]
+    try:
+        out = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=10, check=True
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out or None
+
+
+def load_trajectory(path: str | Path) -> list[dict]:
+    """The current trajectory list; corrupt/missing files restart it."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    try:
+        loaded = json.loads(p.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    return loaded if isinstance(loaded, list) else []
+
+
+def append_trajectory(path: str | Path, entry: dict) -> dict:
+    """Record one headline entry, deduplicating per (sha, benchmark).
+
+    The entry is stamped with the current :func:`git_sha`; any existing
+    entry with the same SHA and ``"benchmark"`` tag is replaced in
+    place (same position, so the file still reads chronologically),
+    otherwise the entry appends.  Returns the stamped entry.
+    """
+    entry = dict(entry)
+    entry.setdefault("sha", git_sha())
+    trajectory = load_trajectory(path)
+    replaced = False
+    for i, prior in enumerate(trajectory):
+        if (
+            isinstance(prior, dict)
+            and prior.get("sha") is not None
+            and prior.get("sha") == entry["sha"]
+            and prior.get("benchmark") == entry.get("benchmark")
+        ):
+            trajectory[i] = entry
+            replaced = True
+            break
+    if not replaced:
+        trajectory.append(entry)
+    Path(path).write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    return entry

@@ -15,10 +15,13 @@ recorded :class:`~repro.gpusim.trace.KernelTrace`, the priced
 :class:`~repro.gpusim.cost.CostReport`, and the preprocessing wall time
 — keyed on a collision-safe structural fingerprint:
 
-    (COOMatrix.structure_token, kernel cache token, kind,
+    (namespace, COOMatrix.structure_token, kernel cache token, kind,
      feature_length, DeviceSpec)
 
-``structure_token`` hashes the topology bytes (see
+The leading namespace is "" for every offline workload; the inference
+service (:mod:`repro.serve`) scopes it per tenant via
+:func:`plan_namespace`, so tenants get isolated key spaces in the one
+shared LRU.  ``structure_token`` hashes the topology bytes (see
 :meth:`repro.sparse.coo.COOMatrix.structure_token`); the kernel token
 carries the full configuration (not just the display name); the frozen
 ``DeviceSpec`` participates directly so two devices sharing a name but
@@ -49,13 +52,15 @@ the warm path at one dict probe.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import os
 import pickle
 import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Hashable, Iterator
 
 from repro import obs
 from repro.gpusim.cost import CostReport
@@ -96,8 +101,38 @@ class CachedLaunch:
     preprocess_seconds: float = 0.0
 
 
-#: (structure_token, kernel token, kind, feature_length, device)
-PlanKey = tuple[str, Hashable, str, int, DeviceSpec]
+#: (namespace, structure_token, kernel token, kind, feature_length, device)
+PlanKey = tuple[str, str, Hashable, str, int, DeviceSpec]
+
+#: Current plan-cache namespace.  The default ("") is the shared
+#: process-wide namespace every offline workload uses; the inference
+#: service (:mod:`repro.serve`) scopes each tenant's launches under the
+#: tenant id so one tenant's structural plans can never be replayed —
+#: or evicted — by another's traffic (isolation plus per-tenant
+#: accounting).  A contextvar so the scope follows the task/thread that
+#: set it, including the serve batcher's executor threads.
+_namespace: contextvars.ContextVar[str] = contextvars.ContextVar(
+    "repro_plan_namespace", default=""
+)
+
+
+def current_namespace() -> str:
+    """The plan-cache namespace launches are keyed under right now."""
+    return _namespace.get()
+
+
+@contextlib.contextmanager
+def plan_namespace(name: str) -> Iterator[str]:
+    """Scope every plan-cache key in the block under ``name``.
+
+    Used by :mod:`repro.serve` to give each tenant a private key space;
+    nesting restores the previous namespace on exit.
+    """
+    token = _namespace.set(str(name))
+    try:
+        yield str(name)
+    finally:
+        _namespace.reset(token)
 
 
 def _entry_checksum(entry: object) -> int | None:
@@ -130,6 +165,14 @@ class _Slot:
 
     entry: object
     checksum: int | None = None
+
+
+def _key_kind(key: PlanKey) -> str:
+    """The launch-kind tag of a key (index 3 of the canonical 6-tuple)."""
+    try:
+        return str(key[3])
+    except (IndexError, TypeError):
+        return "?"
 
 
 class PlanCache:
@@ -171,14 +214,14 @@ class PlanCache:
             if slot is not None and verify and slot.checksum is not None:
                 from repro.resilience import faults
 
-                if faults.get_injector().fire("plancache.poison", kind=key[2]):
+                if faults.get_injector().fire("plancache.poison", kind=_key_kind(key)):
                     slot.checksum ^= 0xFFFFFFFF  # simulated bit-rot
                 if _entry_checksum(slot.entry) != slot.checksum:
                     del self._entries[key]
                     self.invalidations += 1
                     slot = None
                     metrics.counter("resilience.plan_invalidated").inc()
-                    obs.event("resilience.plan_invalidated", kind=key[2],
+                    obs.event("resilience.plan_invalidated", kind=_key_kind(key),
                               reason="checksum-mismatch")
             if slot is None:
                 self.misses += 1
@@ -188,13 +231,13 @@ class PlanCache:
                 # recorded while a trace sink is live — the f-string and
                 # extra probe stay off the untraced warm path.
                 if obs.tracing_enabled():
-                    metrics.counter(f"plancache.miss.{key[2]}").inc()
+                    metrics.counter(f"plancache.miss.{_key_kind(key)}").inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
             metrics.counter("plancache.hit").inc()
             if obs.tracing_enabled():
-                metrics.counter(f"plancache.hit.{key[2]}").inc()
+                metrics.counter(f"plancache.hit.{_key_kind(key)}").inc()
             return slot.entry
 
     def store(self, key: PlanKey, entry: CachedLaunch) -> None:
@@ -215,7 +258,7 @@ class PlanCache:
                 self.invalidations += 1
         if present:
             get_metrics().counter("resilience.plan_invalidated").inc()
-            obs.event("resilience.plan_invalidated", kind=key[2],
+            obs.event("resilience.plan_invalidated", kind=_key_kind(key),
                       reason="explicit")
         return present
 
@@ -277,5 +320,17 @@ def plan_key(
     feature_length: int,
     device: DeviceSpec,
 ) -> PlanKey:
-    """Assemble the canonical cache key for one launch structure."""
-    return (structure_token, kernel_token, kind, int(feature_length), device)
+    """Assemble the canonical cache key for one launch structure.
+
+    The active plan-cache namespace (see :func:`plan_namespace`) is
+    folded in as the leading component, so identical structural work
+    issued by different serve tenants lands on disjoint keys.
+    """
+    return (
+        _namespace.get(),
+        structure_token,
+        kernel_token,
+        kind,
+        int(feature_length),
+        device,
+    )

@@ -86,3 +86,27 @@ class PlanCacheCorruptionError(ResilienceError):
 
 class TrainingDivergedError(ResilienceError):
     """Training produced a non-finite loss that checkpoint rollback could not cure."""
+
+
+class ServeError(ReproError):
+    """Base class for inference-service failures (:mod:`repro.serve`)."""
+
+
+class ServiceOverloadedError(ServeError):
+    """The request queue is full; the request was load-shed at admission.
+
+    Carries the queue depth at shed time so clients can implement
+    informed backoff instead of blind retries.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int | None = None):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+class RequestTimeoutError(ServeError):
+    """A request missed its deadline before a batch could serve it."""
+
+
+class ServiceClosedError(ServeError):
+    """A request arrived at (or was pending in) a stopped service."""

@@ -7,7 +7,8 @@ bit-identical to the serial path.  ``REPRO_EXEC_WORKERS`` (default 1)
 turns it on; ``REPRO_EXEC_BACKEND`` picks the mechanism (``thread`` —
 the default pool, ``process`` — shared-memory resident shards on a
 spawn process pool, ``compiled`` — numba-JIT whole-launch kernels with
-an eager numpy fallback).
+an eager numpy fallback, ``auto`` — thread on hosts with fewer than
+four CPUs, process otherwise).
 
 Importing this package also installs the fork-safety hooks
 (:mod:`repro.exec.forksafe`): a forked child drops the inherited
@@ -15,12 +16,14 @@ engine/executor and gets fresh plan-cache, injector and span state.
 """
 
 from repro.exec.backends import (
+    AUTO_MIN_CPUS,
     DEFAULT_BACKEND,
     NUMBA_AVAILABLE,
     NumericsBackend,
     available_backends,
     backend_names,
     create_backend,
+    resolve_auto_backend,
     resolve_backend_name,
 )
 from repro.exec.engine import (
@@ -44,6 +47,7 @@ from repro.exec.sharding import (
 register_fork_hooks()
 
 __all__ = [
+    "AUTO_MIN_CPUS",
     "DEFAULT_BACKEND",
     "DEFAULT_MIN_PARALLEL_NNZ",
     "NUMBA_AVAILABLE",
@@ -56,6 +60,7 @@ __all__ = [
     "exec_workers",
     "get_engine",
     "register_fork_hooks",
+    "resolve_auto_backend",
     "resolve_backend_name",
     "resolve_workers",
     "set_exec_workers",

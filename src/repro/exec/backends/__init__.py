@@ -9,9 +9,14 @@
   state launches ship zero graph bytes.
 * ``compiled`` — numba-JIT whole-launch kernels when numba is
   importable, the exact eager numpy numerics otherwise.
+* ``auto`` — resolve by host shape: ``thread`` when
+  ``os.cpu_count() < AUTO_MIN_CPUS``, ``process`` otherwise.  The
+  process pool's fixed IPC overhead loses on small hosts (BENCH_pr7
+  measured 0.58–0.61x on a 1-cpu runner) and wins once real cores
+  exist; ``auto`` is the inference service's default.
 
-All three are bit-identical by construction (the parity property suite
-gates it); they differ only in wall-clock scaling.
+All backends are bit-identical by construction (the parity property
+suite gates it); they differ only in wall-clock scaling.
 """
 
 from __future__ import annotations
@@ -33,6 +38,11 @@ from repro.exec.backends.thread import ThreadBackend
 _ENV_BACKEND = "REPRO_EXEC_BACKEND"
 DEFAULT_BACKEND = "thread"
 
+#: below this many host CPUs, ``auto`` keeps the thread pool — process
+#: fan-out costs a fixed IPC/pickling toll that only pays off once the
+#: shards actually run on distinct cores.
+AUTO_MIN_CPUS = 4
+
 _BACKENDS: dict[str, type[NumericsBackend]] = {
     "thread": ThreadBackend,
     "process": ProcessBackend,
@@ -53,29 +63,45 @@ def available_backends() -> dict[str, bool]:
     return {"thread": True, "process": True, "compiled": NUMBA_AVAILABLE}
 
 
+def resolve_auto_backend(cpu_count: int | None = None) -> str:
+    """What ``auto`` means on this host: thread on small boxes, else process."""
+    cpus = os.cpu_count() if cpu_count is None else cpu_count
+    return "thread" if (cpus or 1) < AUTO_MIN_CPUS else "process"
+
+
 def resolve_backend_name() -> str:
-    """Backend name from ``REPRO_EXEC_BACKEND`` (default ``thread``)."""
+    """Backend name from ``REPRO_EXEC_BACKEND`` (default ``thread``).
+
+    ``auto`` resolves here, so callers always see a concrete backend.
+    """
     raw = os.environ.get(_ENV_BACKEND)
     if raw is None or raw.strip() == "":
         return DEFAULT_BACKEND
     name = raw.strip().lower()
+    if name == "auto":
+        return resolve_auto_backend()
     if name not in _BACKENDS:
         raise ConfigError(
-            f"{_ENV_BACKEND} must be one of {sorted(_BACKENDS)}, got {raw!r}"
+            f"{_ENV_BACKEND} must be one of {sorted(_BACKENDS) + ['auto']}, "
+            f"got {raw!r}"
         )
     return name
 
 
 def create_backend(name: str, engine) -> NumericsBackend:
+    if name == "auto":
+        name = resolve_auto_backend()
     cls = _BACKENDS.get(name)
     if cls is None:
         raise ConfigError(
-            f"unknown exec backend {name!r}; expected one of {sorted(_BACKENDS)}"
+            f"unknown exec backend {name!r}; expected one of "
+            f"{sorted(_BACKENDS) + ['auto']}"
         )
     return cls(engine)
 
 
 __all__ = [
+    "AUTO_MIN_CPUS",
     "DEFAULT_BACKEND",
     "NUMBA_AVAILABLE",
     "NumericsBackend",
@@ -89,6 +115,7 @@ __all__ = [
     "available_backends",
     "backend_names",
     "create_backend",
+    "resolve_auto_backend",
     "resolve_backend_name",
     "run_shard_with_retries",
 ]

@@ -16,7 +16,9 @@ sweep; SDDMM's per-edge outputs make any contiguous NZE split safe.
 Shard plans are value-independent (pure topology), so they memoize in
 the structural plan cache (:mod:`repro.core.plancache`) alongside the
 existing cost/trace entries, keyed on
-``(structure_token, "exec.row-shard", "shard", n_workers, None)``.
+``("", structure_token, "exec.row-shard", "shard", n_workers, None)``
+(the leading namespace slot stays the shared default: topology-only
+plans are safely shared across serve tenants).
 """
 
 from __future__ import annotations
@@ -124,10 +126,13 @@ def plan_is_valid(plan: ShardPlan, A: COOMatrix) -> bool:
 
 
 def _shard_key(A: COOMatrix, n_workers: int):
-    # Same 5-tuple shape as plancache.PlanKey; the device slot is unused
+    # Same 6-tuple shape as plancache.PlanKey; the device slot is unused
     # (host-side sharding) and the kind tag keeps shard plans from ever
-    # colliding with cost/trace entries.
-    return (A.structure_token, "exec.row-shard", "shard", int(n_workers), None)
+    # colliding with cost/trace entries.  The namespace slot is pinned to
+    # the shared default ("") rather than the caller's tenant namespace:
+    # a shard plan is pure topology, so serve tenants can safely share
+    # one entry per (structure, workers) instead of duplicating it.
+    return ("", A.structure_token, "exec.row-shard", "shard", int(n_workers), None)
 
 
 def row_shard_plan(A: COOMatrix, n_workers: int) -> ShardPlan:

@@ -38,9 +38,11 @@ from repro.obs.analysis import (
     format_diff,
     format_plan_cache_line,
     format_resilience_line,
+    format_serve_line,
     format_summary,
     plan_cache_summary,
     resilience_summary,
+    serve_summary,
     span_key,
     summarize,
 )
@@ -88,6 +90,7 @@ from repro.obs.spans import (
     add_sink,
     capture,
     current_span,
+    emit_span,
     event,
     obs_enabled,
     remove_sink,
@@ -104,9 +107,11 @@ __all__ = [
     "format_diff",
     "format_plan_cache_line",
     "format_resilience_line",
+    "format_serve_line",
     "format_summary",
     "plan_cache_summary",
     "resilience_summary",
+    "serve_summary",
     "RESILIENCE_EVENTS",
     "span_key",
     "summarize",
@@ -143,6 +148,7 @@ __all__ = [
     "add_sink",
     "capture",
     "current_span",
+    "emit_span",
     "event",
     "obs_enabled",
     "remove_sink",

@@ -27,9 +27,11 @@ from repro.obs.analysis import (
     format_diff,
     format_plan_cache_line,
     format_resilience_line,
+    format_serve_line,
     format_summary,
     plan_cache_summary,
     resilience_summary,
+    serve_summary,
     summarize,
 )
 from repro.obs.export import read_trace_lenient, render_tree
@@ -155,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
             print(format_summary(summarize(records)))
             print(format_plan_cache_line(*plan_cache_summary(records)))
             print(format_resilience_line(resilience_summary(records)))
+            print(format_serve_line(serve_summary(records)))
             return 0
         if args.command == "tree":
             print(render_tree(_read(args.trace), max_depth=args.max_depth))

@@ -150,6 +150,81 @@ def format_resilience_line(counts: dict[str, int]) -> str:
     return "resilience: " + ", ".join(parts)
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation percentile over pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def serve_summary(records: Iterable[JsonDict]) -> dict[str, float | int]:
+    """Fold the inference service's spans/events out of a trace.
+
+    ``serve.request`` spans carry per-request wall latency (emitted
+    retroactively via :func:`repro.obs.spans.emit_span` since a request
+    crosses tasks); ``serve.batch`` spans carry the fused-launch
+    occupancy; ``serve.shed`` / ``serve.degraded`` events count
+    admission rejections and unbatched fallbacks.
+    """
+    latencies: list[float] = []
+    occupancies: list[float] = []
+    shed = degraded = timeouts = 0
+    for rec in records:
+        name = rec.get("name", "")
+        if rec.get("type") == "span":
+            if name == "serve.request":
+                wall = rec.get("wall_ms")
+                if isinstance(wall, (int, float)):
+                    latencies.append(float(wall))
+            elif name == "serve.batch":
+                occ = rec.get("attrs", {}).get("occupancy")
+                if isinstance(occ, (int, float)):
+                    occupancies.append(float(occ))
+        elif rec.get("type") == "event":
+            if name == "serve.shed":
+                shed += 1
+            elif name == "serve.degraded":
+                degraded += 1
+            elif name == "serve.timeout":
+                timeouts += 1
+    latencies.sort()
+    return {
+        "requests": len(latencies),
+        "shed": shed,
+        "timeouts": timeouts,
+        "degraded": degraded,
+        "batches": len(occupancies),
+        "mean_occupancy": (sum(occupancies) / len(occupancies)) if occupancies else 0.0,
+        "p50_ms": _percentile(latencies, 0.50),
+        "p99_ms": _percentile(latencies, 0.99),
+    }
+
+
+def format_serve_line(stats: dict[str, float | int]) -> str:
+    """Human-readable serving footer for ``summary``."""
+    if not stats.get("requests") and not stats.get("shed"):
+        return "serve: no inference-service activity in trace"
+    line = (
+        f"serve: {stats['requests']} request(s) served, {stats['shed']} shed, "
+        f"{stats['batches']} batch(es) at {stats['mean_occupancy']:.1f} mean occupancy, "
+        f"latency p50 {stats['p50_ms']:.2f} ms / p99 {stats['p99_ms']:.2f} ms"
+    )
+    extras = []
+    if stats.get("timeouts"):
+        extras.append(f"{stats['timeouts']} timeout(s)")
+    if stats.get("degraded"):
+        extras.append(f"{stats['degraded']} degrade(s)-to-unbatched")
+    if extras:
+        line += ", " + ", ".join(extras)
+    return line
+
+
 @dataclass
 class DiffRow:
     key: str

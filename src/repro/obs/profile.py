@@ -214,7 +214,9 @@ def timeline_lanes(records: Iterable[JsonDict]) -> dict[str, list[LaneEntry]]:
         worker = attrs.get("worker")
         name = str(rec.get("name", ""))
         if worker is None:
-            if name.startswith(("kernel.", "bench.", "train.epoch", "exec.parallel")):
+            if name.startswith(
+                ("kernel.", "bench.", "train.epoch", "exec.parallel", "serve.")
+            ):
                 worker = "main"
             else:
                 continue
@@ -226,7 +228,10 @@ def timeline_lanes(records: Iterable[JsonDict]) -> dict[str, list[LaneEntry]]:
     for worker, rec in interesting:
         attrs = rec.get("attrs", {})
         bits = [str(rec["name"])]
-        for attr in ("kind", "kernel", "shard", "index", "dataset", "f", "epoch"):
+        for attr in (
+            "kind", "kernel", "shard", "index", "dataset", "f", "epoch",
+            "tenant", "occupancy",
+        ):
             if attrs.get(attr) is not None:
                 bits.append(f"{attr}={attrs[attr]}")
         lanes.setdefault(worker, []).append(

@@ -202,6 +202,44 @@ class span:
         return False
 
 
+def emit_span(
+    name: str,
+    *,
+    start_s: float,
+    wall_ms: float,
+    sim_us: float | None = None,
+    status: str = "ok",
+    **attrs: Any,
+) -> None:
+    """Emit a pre-timed span record directly, without nesting context.
+
+    The ``span()`` context manager assumes the timed region opens and
+    closes in one task; async request lifecycles don't — a serve
+    request is admitted in one task, batched by another, and resolved
+    back in the first, so no single ``with`` block can bracket it.
+    Callers time such regions themselves and report them here
+    retroactively.  Parented under the current span of the *emitting*
+    task (usually none), so these render as top-level lanes in the
+    timeline rather than mis-nesting under an unrelated batch span.
+    """
+    if not _sinks or not _enabled:
+        return
+    parent = current_span()
+    _emit(
+        {
+            "type": "span",
+            "name": name,
+            "span_id": next(_ids),
+            "parent_id": parent.span_id if parent else None,
+            "start_s": float(start_s),
+            "wall_ms": float(wall_ms),
+            "sim_us": sim_us,
+            "status": status,
+            "attrs": dict(attrs),
+        }
+    )
+
+
 def event(name: str, **attrs: Any) -> None:
     """Record an instantaneous event under the current span (if tracing)."""
     if not _sinks or not _enabled:

@@ -33,6 +33,9 @@ Sites wired through the stack (all opt-in via profile rates):
                           lookup detects corruption and recomputes
 ``train.loss_corrupt``    corrupt the epoch loss to NaN (exercises the
                           trainer's checkpoint-rollback guard)
+``serve.batch_fail``      fail a micro-batched serve launch (exercises the
+                          inference service's degrade-to-unbatched path and
+                          per-request retry budget)
 ========================  =====================================================
 
 Configuration::
@@ -76,6 +79,7 @@ PROFILES: dict[str, dict[str, float]] = {
         "shard.plan_corrupt": 0.05,
         "plancache.poison": 0.03,
         "train.loss_corrupt": 0.45,
+        "serve.batch_fail": 0.2,
     },
     "storm": {
         "exec.worker_raise": 0.5,
@@ -84,6 +88,7 @@ PROFILES: dict[str, dict[str, float]] = {
         "shard.plan_corrupt": 0.25,
         "plancache.poison": 0.2,
         "train.loss_corrupt": 0.8,
+        "serve.batch_fail": 0.5,
     },
 }
 

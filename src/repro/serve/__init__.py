@@ -1,0 +1,38 @@
+"""repro.serve — micro-batched async inference over a resident graph.
+
+The online half of the paper's data-load argument: one resident
+topology, one plan-cache-warm fused launch per micro-batch, arbitrarily
+many concurrent requests.  See :mod:`repro.serve.service` for the
+architecture and :mod:`repro.serve.config` for the ``REPRO_SERVE_*``
+environment surface.
+
+Quickstart::
+
+    from repro import serve, sparse
+    from repro.nn.graph import GraphData
+
+    graph = GraphData(sparse.load_dataset("G0").coo).warm()
+    service = serve.InferenceService(graph)
+    async with service:
+        y = await service.propagate(column)     # Â x, micro-batched
+"""
+
+from repro.errors import (
+    RequestTimeoutError,
+    ServeError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.serve.config import ServeConfig
+from repro.serve.service import FAULT_SITE, InferenceService, ServeStats
+
+__all__ = [
+    "FAULT_SITE",
+    "InferenceService",
+    "RequestTimeoutError",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+]

@@ -1,0 +1,112 @@
+"""Inference-service configuration (``REPRO_SERVE_*`` environment).
+
+Every knob of :class:`~repro.serve.service.InferenceService` resolves
+here, from the environment with typed validation, so a deployment is
+tunable without code changes and a misconfiguration fails loudly at
+startup rather than as mystery latency:
+
+=============================  =========  ================================
+``REPRO_SERVE_MAX_BATCH``      32         max requests fused per launch
+``REPRO_SERVE_MAX_DELAY_US``   2000       micro-batcher linger budget
+``REPRO_SERVE_QUEUE_DEPTH``    256        admission bound (shed beyond)
+``REPRO_SERVE_TIMEOUT_MS``     10000      per-request deadline (0 = none)
+``REPRO_SERVE_RETRIES``        2          unbatched retry budget
+``REPRO_SERVE_BATCHING``       1          0/false = serve one-at-a-time
+=============================  =========  ================================
+
+The retry default tracks the fault injector's burst bound: with
+``retries=2`` a degraded request gets three attempts while
+``max_burst=2`` caps consecutive ``serve.batch_fail`` fires, so every
+injected fault sequence leaves at least one fault-free attempt.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+_ENV_PREFIX = "REPRO_SERVE_"
+
+
+def _env_int(name: str, default: int, *, minimum: int = 1) -> int:
+    raw = os.environ.get(_ENV_PREFIX + name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ConfigError(
+            f"{_ENV_PREFIX}{name} must be an integer, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ConfigError(f"{_ENV_PREFIX}{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _env_float(name: str, default: float, *, minimum: float = 0.0) -> float:
+    raw = os.environ.get(_ENV_PREFIX + name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise ConfigError(
+            f"{_ENV_PREFIX}{name} must be a number, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ConfigError(f"{_ENV_PREFIX}{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(_ENV_PREFIX + name)
+    if raw is None or raw.strip() == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Validated batching / admission / resilience policy for one service."""
+
+    #: requests fused into one launch before the batcher stops collecting
+    max_batch: int = 32
+    #: how long the batcher lingers for stragglers once it holds a request
+    max_delay_us: int = 2000
+    #: bounded admission queue; a full queue load-sheds with
+    #: :class:`~repro.errors.ServiceOverloadedError`
+    queue_depth: int = 256
+    #: per-request deadline; 0 disables (requests wait forever)
+    timeout_ms: float = 10_000.0
+    #: per-request attempts after a failed batch = 1 + retries
+    retries: int = 2
+    #: False serves every request as its own launch (the A/B baseline)
+    batching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_us < 0:
+            raise ConfigError(f"max_delay_us must be >= 0, got {self.max_delay_us}")
+        if self.queue_depth < 1:
+            raise ConfigError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.timeout_ms < 0:
+            raise ConfigError(f"timeout_ms must be >= 0, got {self.timeout_ms}")
+        if self.retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {self.retries}")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServeConfig":
+        """Resolve from ``REPRO_SERVE_*``; keyword overrides win."""
+        values = {
+            "max_batch": _env_int("MAX_BATCH", cls.max_batch),
+            "max_delay_us": _env_int("MAX_DELAY_US", cls.max_delay_us, minimum=0),
+            "queue_depth": _env_int("QUEUE_DEPTH", cls.queue_depth),
+            "timeout_ms": _env_float("TIMEOUT_MS", cls.timeout_ms),
+            "retries": _env_int("RETRIES", cls.retries, minimum=0),
+            "batching": _env_bool("BATCHING", cls.batching),
+        }
+        values.update(overrides)
+        return cls(**values)

@@ -1,0 +1,463 @@
+"""Micro-batched asyncio inference service over a resident graph.
+
+The paper's data-load argument, applied online: N concurrent requests
+against one resident topology should cost one NZE pass, not N.  The
+service keeps a :class:`~repro.nn.graph.GraphData` (and optionally a
+trained model + feature matrix) resident, admits requests onto a
+bounded queue, and a single drain task coalesces whatever is pending —
+up to ``max_batch`` requests, lingering at most ``max_delay_us`` for
+stragglers — into one fused launch through the normal kernel path, so
+the plan cache, shard fan-out and active ``REPRO_EXEC_BACKEND`` are
+amortized per *batch* instead of per request.
+
+Two request kinds cover the serving surface:
+
+* :meth:`InferenceService.propagate` — caller-supplied feature columns
+  pushed through one step of GCN-normalized aggregation
+  (``Y = Â X``).  A batch hstacks every pending request's columns,
+  zero-pads to the next power-of-two width (so steady-state traffic
+  touches a handful of plan-cache keys regardless of arrival pattern),
+  launches one SpMM, and hands each request back its column slice.
+  SpMM accumulates each output column independently, in the same
+  per-row edge order at every width, so the slice is **bit-identical**
+  to serving that request alone.
+* :meth:`InferenceService.predict` — node-id queries against the
+  resident model/features.  Model output depends only on resident
+  state, so a batch runs one forward pass and scatters logit rows.
+
+Resilience: a full queue load-sheds at admission
+(:class:`~repro.errors.ServiceOverloadedError`); per-request deadlines
+raise :class:`~repro.errors.RequestTimeoutError`; a failed fused
+launch (the ``serve.batch_fail`` chaos site) degrades the batch to
+per-request execution with a bounded retry budget — numerics are
+identical on both paths, so a chaos run can slow responses but never
+corrupt them.
+
+Every request/batch/shed/degrade is visible in ``repro.obs``: counters
+and latency/occupancy histograms for live SLO monitoring, plus
+``serve.request`` / ``serve.queue`` / ``serve.batch`` spans (the first
+two emitted retroactively via :func:`repro.obs.emit_span`, since a
+request's lifecycle crosses tasks) so ``python -m repro.obs summary``
+and ``timeline`` reconstruct the serving picture from a trace.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro import core, obs
+from repro.core.plancache import plan_namespace
+from repro.errors import (
+    ConfigError,
+    FaultInjectedError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.nn.graph import GraphData
+from repro.nn.tensor import Tensor
+from repro.resilience import faults
+from repro.serve.config import ServeConfig
+
+#: chaos site consulted once per fused launch and once per unbatched
+#: attempt (see :mod:`repro.resilience.faults`).
+FAULT_SITE = "serve.batch_fail"
+
+_ENV_BACKEND = "REPRO_EXEC_BACKEND"
+
+
+def _bucket(width: int) -> int:
+    """Next power of two >= width: the batcher's plan-key quantizer."""
+    return 1 << max(0, int(width) - 1).bit_length() if width > 1 else 1
+
+
+@dataclass
+class _Request:
+    """One admitted query, waiting on the drain task."""
+
+    kind: str  # "propagate" | "predict"
+    payload: np.ndarray
+    tenant: str
+    future: "asyncio.Future[Any]"
+    #: epoch seconds at admission (span alignment)
+    t_admit_s: float
+    #: perf-counter seconds at admission (latency measurement)
+    t_admit_p: float
+    #: perf-counter seconds when the batcher picked the request up
+    t_drain_p: float = 0.0
+    #: restore 1-D output for 1-D propagate input / scalar predict input
+    squeeze: bool = False
+
+
+@dataclass
+class ServeStats:
+    """Service-side SLO counters, independent of the obs kill switch."""
+
+    requests: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    batches: int = 0
+    fused_requests: int = 0
+    degraded: int = 0
+    retries: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.fused_requests / self.batches if self.batches else 0.0
+
+    def percentile(self, q: float) -> float:
+        from repro.obs.analysis import _percentile
+
+        return _percentile(sorted(self.latencies_ms), q)
+
+    def to_dict(self) -> dict[str, float | int]:
+        return {
+            "requests": self.requests,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "batches": self.batches,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "mean_occupancy": self.mean_occupancy,
+            "p50_ms": self.percentile(0.50),
+            "p99_ms": self.percentile(0.99),
+        }
+
+
+class InferenceService:
+    """Resident-graph inference with micro-batched fused launches.
+
+    Usage::
+
+        service = InferenceService(graph, model=model, features=data.features)
+        async with service:
+            y = await service.propagate(column)          # one step of Â x
+            logits = await service.predict([7, 9, 23])   # model rows
+
+    The service installs ``REPRO_EXEC_BACKEND=auto`` when the variable
+    is unset — the host-shaped backend choice is the serving default —
+    and never overrides an explicit setting.
+    """
+
+    def __init__(
+        self,
+        graph: GraphData,
+        *,
+        model=None,
+        features: np.ndarray | None = None,
+        config: ServeConfig | None = None,
+    ):
+        self.graph = graph
+        self.model = model
+        self.features = None if features is None else np.asarray(features, float)
+        if self.features is not None and (
+            self.features.ndim != 2 or self.features.shape[0] != graph.num_vertices
+        ):
+            raise ConfigError(
+                f"features must be (|V|, F) = ({graph.num_vertices}, F), "
+                f"got {None if features is None else np.shape(features)}"
+            )
+        self.config = config if config is not None else ServeConfig.from_env()
+        if model is not None and hasattr(model, "eval"):
+            model.eval()  # deterministic forward: dropout must be identity
+        self.stats = ServeStats()
+        self._queue: asyncio.Queue[_Request] | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._inflight: list[_Request] = []
+        self._running = False
+        # Serving default: host-shaped backend, unless the operator
+        # already chose one (empty counts as unset, matching the
+        # resolver).  Done before the first launch can create the
+        # global engine, which reads the variable once.
+        if not os.environ.get(_ENV_BACKEND, "").strip():
+            os.environ[_ENV_BACKEND] = "auto"
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "InferenceService":
+        if self._running:
+            return self
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._running = True
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+        return self
+
+    async def stop(self) -> None:
+        """Stop admitting and fail everything still pending."""
+        if not self._running:
+            return
+        self._running = False
+        task, self._drain_task = self._drain_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        pending = list(self._inflight)
+        self._inflight.clear()
+        queue, self._queue = self._queue, None
+        while queue is not None and not queue.empty():
+            pending.append(queue.get_nowait())
+        for req in pending:
+            if not req.future.done():
+                req.future.set_exception(
+                    ServiceClosedError("service stopped with the request pending")
+                )
+
+    async def __aenter__(self) -> "InferenceService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------- requests
+
+    async def propagate(
+        self, columns: np.ndarray, *, tenant: str = ""
+    ) -> np.ndarray:
+        """One step of normalized aggregation ``Y = Â X`` for the caller's
+        feature column(s); shape ``(|V|,)`` or ``(|V|, k)``, mirrored back."""
+        x = np.asarray(columns, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if x.ndim != 2 or x.shape[0] != self.graph.num_vertices:
+            raise ConfigError(
+                f"propagate columns must be (|V|,) or (|V|, k) with "
+                f"|V|={self.graph.num_vertices}, got {np.shape(columns)}"
+            )
+        return await self._submit("propagate", x, tenant, squeeze)
+
+    async def predict(
+        self, node_ids: int | Sequence[int] | np.ndarray, *, tenant: str = ""
+    ) -> np.ndarray:
+        """Model logits for the queried node(s) from resident features."""
+        if self.model is None or self.features is None:
+            raise ConfigError("predict requires a service with model= and features=")
+        squeeze = np.isscalar(node_ids) or getattr(node_ids, "ndim", 1) == 0
+        ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        if ids.ndim != 1 or ids.size == 0:
+            raise ConfigError(f"node_ids must be non-empty 1-D, got {np.shape(ids)}")
+        if ids.min() < 0 or ids.max() >= self.graph.num_vertices:
+            raise ConfigError(
+                f"node ids must be in [0, {self.graph.num_vertices}), "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        return await self._submit("predict", ids, tenant, squeeze)
+
+    async def _submit(
+        self, kind: str, payload: np.ndarray, tenant: str, squeeze: bool
+    ) -> Any:
+        if not self._running or self._queue is None:
+            raise ServiceClosedError("service is not running (use 'async with')")
+        loop = asyncio.get_running_loop()
+        req = _Request(
+            kind=kind,
+            payload=payload,
+            tenant=str(tenant),
+            future=loop.create_future(),
+            t_admit_s=time.time(),
+            t_admit_p=time.perf_counter(),
+            squeeze=squeeze,
+        )
+        metrics = obs.get_metrics()
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            depth = self._queue.qsize()
+            self.stats.shed += 1
+            metrics.counter("serve.shed").inc()
+            obs.event("serve.shed", kind=kind, tenant=tenant or "default",
+                      queue_depth=depth)
+            raise ServiceOverloadedError(
+                f"queue full ({depth} pending): request shed", queue_depth=depth
+            ) from None
+        self.stats.requests += 1
+        metrics.counter("serve.requests").inc()
+        metrics.counter(f"serve.tenant.{tenant or 'default'}.requests").inc()
+        metrics.histogram("serve.queue_depth").observe(self._queue.qsize())
+        timeout = self.config.timeout_ms / 1e3 if self.config.timeout_ms else None
+        try:
+            return await asyncio.wait_for(req.future, timeout)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            metrics.counter("serve.timeouts").inc()
+            obs.event("serve.timeout", kind=kind, tenant=tenant or "default")
+            raise RequestTimeoutError(
+                f"{kind} request missed its {self.config.timeout_ms:.0f} ms deadline"
+            ) from None
+
+    # ---------------------------------------------------------- micro-batch
+
+    async def _drain(self) -> None:
+        """Single consumer: collect, group, fuse, scatter — forever."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        linger = self.config.max_delay_us / 1e6
+        limit = self.config.max_batch if self.config.batching else 1
+        while True:
+            batch = [await self._queue.get()]
+            # Greedy collection under a (max_batch, max_delay) cap.  A
+            # ready queue drains without yielding; an empty one gets two
+            # event-loop yields so producers woken by the previous
+            # batch's results can enqueue their next request — then the
+            # batch dispatches rather than lingering out the deadline
+            # (closed-loop clients are all blocked on *us*, so waiting
+            # longer can never grow the batch, only the latency).
+            deadline = loop.time() + linger
+            idle_yields = 0
+            while len(batch) < limit:
+                try:
+                    batch.append(self._queue.get_nowait())
+                    idle_yields = 0
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                if idle_yields >= 2 or loop.time() >= deadline:
+                    break
+                await asyncio.sleep(0)
+                idle_yields += 1
+            t_drain = time.perf_counter()
+            groups: dict[tuple[str, str], list[_Request]] = {}
+            for req in batch:
+                req.t_drain_p = t_drain
+                if req.future.done():  # deadline already missed in queue
+                    continue
+                groups.setdefault((req.kind, req.tenant), []).append(req)
+            for (kind, tenant), requests in groups.items():
+                self._inflight = requests
+                try:
+                    outcomes = await loop.run_in_executor(
+                        None, self._run_group, kind, tenant, requests
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as e:  # defensive: never kill the drain task
+                    outcomes = [e] * len(requests)
+                finally:
+                    self._inflight = []
+                self._resolve(requests, outcomes)
+
+    def _resolve(self, requests: list[_Request], outcomes: list[Any]) -> None:
+        """Scatter per-request outcomes and close out SLO accounting."""
+        metrics = obs.get_metrics()
+        now_p = time.perf_counter()
+        for req, outcome in zip(requests, outcomes):
+            failed = isinstance(outcome, BaseException)
+            if not req.future.done():
+                if failed:
+                    req.future.set_exception(outcome)
+                else:
+                    req.future.set_result(outcome)
+            latency_ms = (now_p - req.t_admit_p) * 1e3
+            queued_ms = (req.t_drain_p - req.t_admit_p) * 1e3
+            self.stats.latencies_ms.append(latency_ms)
+            metrics.histogram("serve.latency_ms").observe(latency_ms)
+            tenant = req.tenant or "default"
+            obs.emit_span(
+                "serve.request", start_s=req.t_admit_s, wall_ms=latency_ms,
+                status="error" if failed else "ok", kind=req.kind, tenant=tenant,
+            )
+            obs.emit_span(
+                "serve.queue", start_s=req.t_admit_s, wall_ms=queued_ms,
+                kind=req.kind, tenant=tenant, worker="queue",
+            )
+
+    # ------------------------------------------------- synchronous numerics
+
+    def _run_group(
+        self, kind: str, tenant: str, requests: list[_Request]
+    ) -> list[Any]:
+        """Execute one (kind, tenant) group in the executor thread.
+
+        Returns one outcome per request (result array or exception).
+        The fused path fails as a unit — a ``serve.batch_fail`` fire (or
+        any unexpected error) degrades to per-request execution with a
+        bounded retry budget, so one poisoned launch can't take down the
+        whole batch's requests.
+        """
+        injector = faults.get_injector()
+        metrics = obs.get_metrics()
+        self.stats.batches += 1
+        self.stats.fused_requests += len(requests)
+        metrics.counter("serve.batches").inc()
+        metrics.histogram("serve.batch_occupancy").observe(len(requests))
+        with plan_namespace(tenant):
+            with obs.span(
+                "serve.batch", kind=kind, tenant=tenant or "default",
+                occupancy=len(requests), worker="serve",
+            ) as sp:
+                try:
+                    injector.maybe_raise(FAULT_SITE, occupancy=len(requests))
+                    return self._run_fused(kind, requests, sp)
+                except Exception:
+                    self.stats.degraded += 1
+                    metrics.counter("serve.degraded").inc()
+                    obs.event("serve.degraded", kind=kind,
+                              tenant=tenant or "default",
+                              occupancy=len(requests))
+                    sp.set(degraded=True)
+                return [self._run_single(kind, req, injector) for req in requests]
+
+    def _run_fused(self, kind: str, requests: list[_Request], sp) -> list[Any]:
+        if kind == "predict":
+            logits = self._forward()
+            return [self._take_rows(logits, req) for req in requests]
+        widths = [req.payload.shape[1] for req in requests]
+        total = sum(widths)
+        stacked = np.zeros((self.graph.num_vertices, _bucket(total)))
+        col = 0
+        for req, width in zip(requests, widths):
+            stacked[:, col : col + width] = req.payload
+            col += width
+        out, cost = core.spmm(self.graph.coo, self.graph.gcn_edge_values, stacked)
+        sp.add_sim_us(cost.time_us)
+        results, lo = [], 0
+        for req, width in zip(requests, widths):
+            sliced = np.ascontiguousarray(out[:, lo : lo + width])
+            results.append(sliced[:, 0] if req.squeeze else sliced)
+            lo += width
+        return results
+
+    def _run_single(self, kind: str, req: _Request, injector) -> Any:
+        """Unbatched execution with retries (the degraded/baseline path)."""
+        metrics = obs.get_metrics()
+        attempts = 1 + self.config.retries
+        for attempt in range(attempts):
+            try:
+                injector.maybe_raise(FAULT_SITE, attempt=attempt)
+                if kind == "predict":
+                    return self._take_rows(self._forward(), req)
+                x = req.payload
+                padded = np.zeros((x.shape[0], _bucket(x.shape[1])))
+                padded[:, : x.shape[1]] = x
+                out, _ = core.spmm(
+                    self.graph.coo, self.graph.gcn_edge_values, padded
+                )
+                sliced = np.ascontiguousarray(out[:, : x.shape[1]])
+                return sliced[:, 0] if req.squeeze else sliced
+            except FaultInjectedError as e:
+                if attempt == attempts - 1:
+                    return e
+                self.stats.retries += 1
+                metrics.counter("serve.retries").inc()
+            except Exception as e:
+                return e
+        return FaultInjectedError("unreachable: retry loop exhausted")
+
+    def _forward(self) -> np.ndarray:
+        """One deterministic model forward over the resident features."""
+        return np.asarray(self.model(self.graph, Tensor(self.features)).data)
+
+    @staticmethod
+    def _take_rows(logits: np.ndarray, req: _Request) -> np.ndarray:
+        rows = np.ascontiguousarray(logits[req.payload])
+        return rows[0] if req.squeeze else rows

@@ -117,3 +117,52 @@ class TestReport:
     def test_render_formats_numbers(self):
         text = render_table("t", ["x"], [{"x": 123456.0}, {"x": 0.123}, {"x": None}])
         assert "123,456" in text and "0.123" in text and "-" in text
+
+
+class TestTrajectory:
+    def test_entries_stamped_with_sha(self, tmp_path):
+        from repro.bench.trajectory import append_trajectory, load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        entry = append_trajectory(path, {"benchmark": "serve", "speedup": 2.0})
+        assert "sha" in entry
+        assert load_trajectory(path) == [entry]
+
+    def test_rerun_same_sha_replaces(self, tmp_path):
+        from repro.bench.trajectory import append_trajectory, load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        append_trajectory(path, {"benchmark": "serve", "speedup": 2.0})
+        append_trajectory(path, {"benchmark": "serve", "speedup": 3.0})
+        trajectory = load_trajectory(path)
+        assert len(trajectory) == 1
+        assert trajectory[0]["speedup"] == 3.0
+
+    def test_distinct_benchmarks_accumulate(self, tmp_path):
+        from repro.bench.trajectory import append_trajectory, load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        append_trajectory(path, {"benchmark": "serve", "speedup": 2.0})
+        append_trajectory(path, {"benchmark": "plan-cache", "speedup": 1.4})
+        assert len(load_trajectory(path)) == 2
+
+    def test_legacy_unstamped_entries_preserved(self, tmp_path):
+        import json
+
+        from repro.bench.trajectory import append_trajectory, load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        legacy = [{"benchmark": "serve", "speedup": 1.0}]  # pre-SHA era
+        path.write_text(json.dumps(legacy), encoding="utf-8")
+        append_trajectory(path, {"benchmark": "serve", "speedup": 2.0})
+        trajectory = load_trajectory(path)
+        assert len(trajectory) == 2
+        assert trajectory[0] == legacy[0]
+
+    def test_corrupt_file_restarts_list(self, tmp_path):
+        from repro.bench.trajectory import append_trajectory, load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text("{not json", encoding="utf-8")
+        append_trajectory(path, {"benchmark": "serve"})
+        assert len(load_trajectory(path)) == 1

@@ -175,7 +175,7 @@ class TestShardPlans:
         assert row_shard_plan(medium_graph, 4) is p1
         assert row_shard_plan(medium_graph, 2) is not p1
         shard_keys = [k for k in (
-            (medium_graph.structure_token, "exec.row-shard", "shard", w, None)
+            ("", medium_graph.structure_token, "exec.row-shard", "shard", w, None)
             for w in (2, 4)
         ) if cache.lookup(k) is not None]
         assert len(shard_keys) == 2

@@ -7,7 +7,7 @@ import pytest
 from repro import core, obs
 from repro.obs.__main__ import main as obs_main
 from repro.obs.dataset import records_from_trace, validate_record
-from repro.obs.profile import profile_trace, timeline_lanes
+from repro.obs.profile import format_timeline, profile_trace, timeline_lanes
 from repro.obs.regress import baseline_from_traces, compare_to_baseline
 from repro.obs.spans import set_obs_enabled
 from repro.resilience import no_faults
@@ -320,3 +320,29 @@ class TestDiffDisjoint:
         assert "only in run B: new.kernel" in out
         assert "1 removed, 1 added" in out
         assert "share no identities" in out
+
+
+class TestTimelineOverlap:
+    def test_overlapping_async_spans_render(self):
+        """Retroactively-emitted serve spans overlap arbitrarily on one
+        lane; the busy union must never exceed the window and the render
+        must not raise."""
+        records = [
+            {"type": "span", "name": "serve.request", "span_id": i,
+             "parent_id": None, "start_s": 100.0 + 0.001 * (i % 3),
+             "wall_ms": 5.0 - i % 4, "sim_us": None, "status": "ok",
+             "attrs": {"kind": "propagate"}}
+            for i in range(8)
+        ]
+        records.append(
+            {"type": "span", "name": "serve.batch", "span_id": 99,
+             "parent_id": None, "start_s": 100.002, "wall_ms": 2.0,
+             "sim_us": 10.0, "status": "ok",
+             "attrs": {"worker": "serve", "occupancy": 8}}
+        )
+        rendered = format_timeline(records)
+        assert "serve" in rendered
+        for line in rendered.splitlines():
+            if "% busy" in line or "busy (" in line:
+                pct = int(line.rsplit("(", 1)[1].rstrip("%)"))
+                assert 0 <= pct <= 100

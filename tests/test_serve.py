@@ -1,0 +1,373 @@
+"""Inference-service tests: batching equivalence, backpressure, faults.
+
+The load-bearing property is bit-identity: a response served out of a
+micro-batched fused launch must equal — to the last bit — the response
+the same request would get from its own serial launch.  Everything else
+(shedding, timeouts, degrades) is about failing loudly instead of
+answering wrongly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import core, obs, serve
+from repro.core import get_plan_cache
+from repro.core.plancache import current_namespace
+from repro.errors import (
+    ConfigError,
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.exec import backend_names, exec_workers, resolve_auto_backend
+from repro.nn import GCN, GraphData
+from repro.nn.tensor import Tensor
+from repro.resilience.faults import fault_profile
+from repro.serve.service import _bucket
+
+
+def _graph(coo) -> GraphData:
+    return GraphData(coo)
+
+
+def _serial(graph: GraphData, column: np.ndarray) -> np.ndarray:
+    out, _ = core.spmm(graph.coo, graph.gcn_edge_values, column[:, None])
+    return out[:, 0].copy()
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _serve_all(graph, payloads, config=None, *, tenants=None, **kwargs):
+    service = serve.InferenceService(graph, config=config, **kwargs)
+    tenants = tenants or [""] * len(payloads)
+    async with service:
+        results = await asyncio.gather(
+            *[
+                service.propagate(p, tenant=t)
+                for p, t in zip(payloads, tenants)
+            ]
+        )
+    return results, service
+
+
+class TestBucket:
+    def test_power_of_two(self):
+        assert [_bucket(w) for w in (1, 2, 3, 4, 5, 8, 9, 31, 32)] == [
+            1, 2, 4, 4, 8, 8, 16, 32, 32,
+        ]
+
+
+class TestBatchingEquivalence:
+    @given(
+        widths=st.lists(st.integers(1, 3), min_size=1, max_size=10),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_batched_equals_serial(self, small_graph, widths, seed):
+        """Any mix of pending column widths slices back bit-identically."""
+        graph = _graph(small_graph)
+        rng = np.random.default_rng(seed)
+        payloads = [
+            rng.standard_normal((graph.num_vertices, w)) for w in widths
+        ]
+        config = serve.ServeConfig(max_batch=len(payloads), max_delay_us=50_000)
+        results, service = _run(_serve_all(graph, payloads, config))
+        for payload, result in zip(payloads, results):
+            assert result.shape == payload.shape
+            for j in range(payload.shape[1]):
+                np.testing.assert_array_equal(
+                    result[:, j], _serial(graph, payload[:, j])
+                )
+        assert service.stats.requests == len(payloads)
+
+    @pytest.mark.parametrize("backend", sorted(backend_names()))
+    def test_batched_equals_serial_on_every_backend(self, small_graph, backend):
+        """The fused launch is backend-agnostic: same bits everywhere."""
+        graph = _graph(small_graph)
+        rng = np.random.default_rng(5)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(6)]
+        refs = [_serial(graph, c) for c in columns]
+        with exec_workers(2, min_parallel_nnz=0, backend=backend):
+            results, _ = _run(_serve_all(graph, columns))
+        for ref, result in zip(refs, results):
+            np.testing.assert_array_equal(ref, result)
+
+    def test_single_request_matches_direct_launch(self, small_graph, rng):
+        graph = _graph(small_graph)
+        column = rng.standard_normal(graph.num_vertices)
+        results, _ = _run(_serve_all(graph, [column]))
+        np.testing.assert_array_equal(results[0], _serial(graph, column))
+
+    def test_unbatched_mode_also_identical(self, small_graph, rng):
+        graph = _graph(small_graph)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(4)]
+        config = serve.ServeConfig(batching=False)
+        results, service = _run(_serve_all(graph, columns, config))
+        for column, result in zip(columns, results):
+            np.testing.assert_array_equal(result, _serial(graph, column))
+        assert service.stats.mean_occupancy == 1.0
+
+    def test_predict_equals_standalone_forward(self, small_graph, rng):
+        graph = _graph(small_graph)
+        features = rng.standard_normal((graph.num_vertices, 12))
+        model = GCN(12, 8, 5, seed=2)
+        model.eval()
+        logits = np.asarray(model(graph, Tensor(features)).data)
+
+        async def main():
+            service = serve.InferenceService(
+                graph, model=model, features=features
+            )
+            async with service:
+                rows = await asyncio.gather(
+                    *[service.predict([i, i + 2]) for i in range(8)],
+                    service.predict(3),
+                )
+            return rows
+
+        *rows, scalar = _run(main())
+        for i, row in enumerate(rows):
+            np.testing.assert_array_equal(row, logits[[i, i + 2]])
+        np.testing.assert_array_equal(scalar, logits[3])
+
+    def test_predict_without_model_rejected(self, small_graph):
+        graph = _graph(small_graph)
+
+        async def main():
+            async with serve.InferenceService(graph) as service:
+                await service.predict([0])
+
+        with pytest.raises(ConfigError, match="model"):
+            _run(main())
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_error(self, small_graph, rng):
+        graph = _graph(small_graph)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(24)]
+        config = serve.ServeConfig(queue_depth=2, max_batch=2)
+
+        async def main():
+            service = serve.InferenceService(graph, config=config)
+            shed, served = 0, []
+            async with service:
+                async def fire(column):
+                    nonlocal shed
+                    try:
+                        served.append(await service.propagate(column))
+                    except ServiceOverloadedError as e:
+                        assert e.queue_depth is not None
+                        shed += 1
+
+                await asyncio.gather(*[fire(c) for c in columns])
+            return shed, served, service
+
+        shed, served, service = _run(main())
+        assert shed > 0
+        assert shed + len(served) == len(columns)
+        assert service.stats.shed == shed
+        for result in served:  # survivors are still bit-correct
+            assert np.isfinite(result).all()
+
+    def test_timeout_raises_typed_error(self, small_graph, rng):
+        graph = _graph(small_graph)
+        config = serve.ServeConfig(timeout_ms=0.001)
+
+        async def main():
+            async with serve.InferenceService(graph, config=config) as service:
+                await service.propagate(rng.standard_normal(graph.num_vertices))
+
+        with pytest.raises(RequestTimeoutError):
+            _run(main())
+
+    def test_closed_service_rejects_and_fails_pending(self, small_graph, rng):
+        graph = _graph(small_graph)
+        column = rng.standard_normal(graph.num_vertices)
+
+        async def main():
+            service = serve.InferenceService(graph)
+            with pytest.raises(ServiceClosedError):
+                await service.propagate(column)  # never started
+            async with service:
+                pass
+            with pytest.raises(ServiceClosedError):
+                await service.propagate(column)  # stopped
+
+        _run(main())
+
+    def test_shape_validation(self, small_graph, rng):
+        graph = _graph(small_graph)
+
+        async def main():
+            async with serve.InferenceService(graph) as service:
+                with pytest.raises(ConfigError, match="columns"):
+                    await service.propagate(rng.standard_normal(7))
+
+        _run(main())
+
+
+class TestFaultRecovery:
+    def test_batch_fault_degrades_and_recovers(self, small_graph, rng):
+        """A certain-fire serve fault slows responses, never corrupts them."""
+        graph = _graph(small_graph)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(6)]
+        refs = [_serial(graph, c) for c in columns]
+        with fault_profile("serve.batch_fail=1", seed=3):
+            results, service = _run(_serve_all(graph, columns))
+        for ref, result in zip(refs, results):
+            np.testing.assert_array_equal(ref, result)
+        assert service.stats.degraded >= 1
+        assert service.stats.retries >= 1
+
+    def test_chaos_profile_zero_wrong_responses(self, small_graph, rng):
+        graph = _graph(small_graph)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(10)]
+        refs = [_serial(graph, c) for c in columns]
+        with fault_profile("chaos", seed=99):
+            results, _ = _run(_serve_all(graph, columns))
+        for ref, result in zip(refs, results):
+            np.testing.assert_array_equal(ref, result)
+
+
+class TestTenantNamespaces:
+    def test_tenants_get_disjoint_plan_keys(self, small_graph, rng):
+        graph = _graph(small_graph)
+        column = rng.standard_normal(graph.num_vertices)
+        # Same structural launch under two tenants: isolated key spaces.
+        _run(
+            _serve_all(
+                graph, [column, column], tenants=["acme", "globex"],
+            )
+        )
+        namespaces = {key[0] for key in get_plan_cache()._entries}
+        assert {"acme", "globex"} <= namespaces
+        assert current_namespace() == ""  # scope never leaks
+
+    def test_shard_plans_stay_shared(self, small_graph, rng):
+        graph = _graph(small_graph)
+        column = rng.standard_normal(graph.num_vertices)
+        with exec_workers(2, min_parallel_nnz=0):
+            _run(_serve_all(graph, [column], tenants=["acme"]))
+        shard_namespaces = {
+            key[0] for key in get_plan_cache()._entries if key[3] == "shard"
+        }
+        assert shard_namespaces <= {""}
+
+
+class TestServeObservability:
+    def test_summary_and_timeline_handle_serve_spans(self, small_graph, rng):
+        graph = _graph(small_graph)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(5)]
+        with obs.capture() as records:
+            _run(_serve_all(graph, columns))
+        stats = obs.serve_summary(records)
+        assert stats["requests"] == 5
+        assert stats["batches"] >= 1
+        assert stats["p99_ms"] >= stats["p50_ms"] > 0
+        line = obs.format_serve_line(stats)
+        assert "5 request(s)" in line
+        # serve.request spans overlap freely (async lifecycles); the
+        # timeline must still render every lane without raising.
+        rendered = obs.format_timeline(records)
+        assert "serve" in rendered
+
+    def test_serve_footer_on_empty_trace(self):
+        line = obs.format_serve_line(obs.serve_summary([]))
+        assert "no inference-service activity" in line
+
+    def test_shed_and_degrade_events_counted(self, small_graph, rng):
+        graph = _graph(small_graph)
+        columns = [rng.standard_normal(graph.num_vertices) for _ in range(8)]
+        config = serve.ServeConfig(queue_depth=1, max_batch=1)
+        with obs.capture() as records:
+            async def main():
+                service = serve.InferenceService(graph, config=config)
+                async with service:
+                    async def fire(column):
+                        try:
+                            await service.propagate(column)
+                        except ServiceOverloadedError:
+                            pass
+
+                    await asyncio.gather(*[fire(c) for c in columns])
+
+            _run(main())
+        assert obs.serve_summary(records)["shed"] > 0
+
+
+class TestAutoBackend:
+    def test_resolution_by_cpu_count(self):
+        assert resolve_auto_backend(1) == "thread"
+        assert resolve_auto_backend(3) == "thread"
+        assert resolve_auto_backend(4) == "process"
+        assert resolve_auto_backend(64) == "process"
+
+    def test_env_auto_resolves_concrete(self, monkeypatch):
+        from repro.exec import resolve_backend_name
+
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "auto")
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert resolve_backend_name() == "thread"
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert resolve_backend_name() == "process"
+
+    def test_unknown_backend_still_rejected(self, monkeypatch):
+        from repro.exec import resolve_backend_name
+
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "gpu")
+        with pytest.raises(ConfigError, match="auto"):
+            resolve_backend_name()
+
+    def test_service_installs_auto_default(self, small_graph, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        serve.InferenceService(_graph(small_graph))
+        assert os.environ["REPRO_EXEC_BACKEND"] == "auto"
+
+    def test_service_respects_explicit_backend(self, small_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "compiled")
+        serve.InferenceService(_graph(small_graph))
+        assert os.environ["REPRO_EXEC_BACKEND"] == "compiled"
+
+
+class TestServeConfig:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "8")
+        monkeypatch.setenv("REPRO_SERVE_MAX_DELAY_US", "500")
+        monkeypatch.setenv("REPRO_SERVE_BATCHING", "0")
+        config = serve.ServeConfig.from_env()
+        assert config.max_batch == 8
+        assert config.max_delay_us == 500
+        assert config.batching is False
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "8")
+        assert serve.ServeConfig.from_env(max_batch=4).max_batch == 4
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [
+            ("REPRO_SERVE_MAX_BATCH", "0"),
+            ("REPRO_SERVE_MAX_BATCH", "lots"),
+            ("REPRO_SERVE_QUEUE_DEPTH", "-1"),
+            ("REPRO_SERVE_TIMEOUT_MS", "soon"),
+        ],
+    )
+    def test_bad_env_rejected(self, monkeypatch, name, value):
+        monkeypatch.setenv(name, value)
+        with pytest.raises(ConfigError):
+            serve.ServeConfig.from_env()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            serve.ServeConfig(max_batch=0)
+        with pytest.raises(ConfigError):
+            serve.ServeConfig(retries=-1)
