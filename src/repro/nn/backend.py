@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.kernels.gnnone.config import GnnOneConfig
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,11 @@ class TrainingBackend:
     fused_elementwise: bool = False
     #: keeps CSR + CSC + COO resident simultaneously (DGL behaviour)
     dual_format: bool = False
+    #: autotuned GNNOne knobs (``Trainer(autotune=...)``); ``None`` runs
+    #: the paper defaults.  Only honored when the corresponding kernel
+    #: registry name is ``"gnnone"`` — baselines have no such knobs.
+    gnnone_spmm_config: GnnOneConfig | None = None
+    gnnone_sddmm_config: GnnOneConfig | None = None
 
 
 GNNONE_BACKEND = TrainingBackend("gnnone", "gnnone", "gnnone", "gnnone")

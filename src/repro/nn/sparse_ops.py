@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.gnnone import GnnOneSDDMM, GnnOneSpMM
 from repro.kernels.registry import sddmm_kernel, spmm_kernel, spmv_kernel
 from repro.nn.backend import TrainingBackend
 from repro.nn.clock import charge, charge_elementwise, current_clock
@@ -33,7 +34,10 @@ from repro.nn.tensor import Tensor
 
 def _run_spmm(backend: TrainingBackend, coo, edge_values, X, tag: str) -> np.ndarray:
     clock = current_clock()
-    kernel = spmm_kernel(backend.spmm)
+    if backend.spmm == "gnnone" and backend.gnnone_spmm_config is not None:
+        kernel = GnnOneSpMM(backend.gnnone_spmm_config)
+    else:
+        kernel = spmm_kernel(backend.spmm)
     result = kernel(coo, edge_values, X, device=clock.device if clock else None)
     charge(f"spmm:{tag}", result.time_us)
     return result.output
@@ -41,7 +45,10 @@ def _run_spmm(backend: TrainingBackend, coo, edge_values, X, tag: str) -> np.nda
 
 def _run_sddmm(backend: TrainingBackend, coo, X, Y, tag: str) -> np.ndarray:
     clock = current_clock()
-    kernel = sddmm_kernel(backend.sddmm)
+    if backend.sddmm == "gnnone" and backend.gnnone_sddmm_config is not None:
+        kernel = GnnOneSDDMM(backend.gnnone_sddmm_config)
+    else:
+        kernel = sddmm_kernel(backend.sddmm)
     result = kernel(coo, X, Y, device=clock.device if clock else None)
     charge(f"sddmm:{tag}", result.time_us)
     return result.output

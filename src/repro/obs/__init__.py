@@ -40,17 +40,22 @@ from repro.obs.analysis import (
     format_resilience_line,
     format_serve_line,
     format_summary,
+    format_tune_line,
     plan_cache_summary,
     resilience_summary,
     serve_summary,
     span_key,
     summarize,
+    tune_summary,
 )
 from repro.obs.dataset import (
     RECORD_SCHEMA,
     export_dataset,
     record_from_span,
     records_from_trace,
+    split_fraction,
+    split_key,
+    split_side,
     validate_record,
 )
 from repro.obs.export import (
@@ -109,9 +114,11 @@ __all__ = [
     "format_resilience_line",
     "format_serve_line",
     "format_summary",
+    "format_tune_line",
     "plan_cache_summary",
     "resilience_summary",
     "serve_summary",
+    "tune_summary",
     "RESILIENCE_EVENTS",
     "span_key",
     "summarize",
@@ -125,6 +132,9 @@ __all__ = [
     "export_dataset",
     "record_from_span",
     "records_from_trace",
+    "split_fraction",
+    "split_key",
+    "split_side",
     "validate_record",
     "ProfileRow",
     "format_profile_report",

@@ -29,10 +29,12 @@ from repro.obs.analysis import (
     format_resilience_line,
     format_serve_line,
     format_summary,
+    format_tune_line,
     plan_cache_summary,
     resilience_summary,
     serve_summary,
     summarize,
+    tune_summary,
 )
 from repro.obs.export import read_trace_lenient, render_tree
 from repro.obs.spans import JsonDict
@@ -109,6 +111,18 @@ def main(argv: list[str] | None = None) -> int:
     p_dataset.add_argument(
         "-o", "--out", required=True, help="output JSONL dataset path"
     )
+    p_dataset.add_argument(
+        "--split",
+        choices=("train", "val"),
+        default=None,
+        help="keep only one side of the deterministic hash split",
+    )
+    p_dataset.add_argument(
+        "--val-fraction",
+        type=float,
+        default=0.2,
+        help="fraction of identities hashed to the val side (default 0.2)",
+    )
 
     p_baseline = sub.add_parser(
         "baseline", help="snapshot per-identity perf stats from N runs"
@@ -158,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
             print(format_plan_cache_line(*plan_cache_summary(records)))
             print(format_resilience_line(resilience_summary(records)))
             print(format_serve_line(serve_summary(records)))
+            print(format_tune_line(tune_summary(records)))
             return 0
         if args.command == "tree":
             print(render_tree(_read(args.trace), max_depth=args.max_depth))
@@ -180,10 +195,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "dataset":
             from repro.obs.dataset import export_dataset
 
-            written, skipped = export_dataset(args.traces, args.out)
+            written, skipped = export_dataset(
+                args.traces, args.out,
+                split=args.split, val_fraction=args.val_fraction,
+            )
+            side = f" [{args.split} split]" if args.split else ""
             print(
-                f"wrote {written} record(s) from {len(args.traces)} trace(s) "
-                f"to {args.out}"
+                f"wrote {written} record(s){side} from {len(args.traces)} "
+                f"trace(s) to {args.out}"
                 + (f" ({skipped} kernel span(s) skipped)" if skipped else "")
             )
             return 0

@@ -104,6 +104,70 @@ def format_plan_cache_line(warm: int, total: int) -> str:
     )
 
 
+def tune_summary(records: Iterable[JsonDict]) -> dict[str, float | int]:
+    """Fold the autotuner's spans/events out of a trace.
+
+    ``tune.cache_hit``/``tune.cache_miss`` events count the memo's
+    effectiveness (the counters behind ``plancache.tune.hit/miss``);
+    ``tune.search`` spans carry the learned path's pruning yield
+    (``trials_avoided`` of ``candidates``); ``tune.fallback`` events
+    count learned requests that degraded to exact for lack of a model.
+    """
+    hits = misses = searches = fallbacks = 0
+    trials_avoided = candidates = 0
+    explore_evals = 0
+    for rec in records:
+        name = rec.get("name", "")
+        if rec.get("type") == "event":
+            if name == "tune.cache_hit":
+                hits += 1
+            elif name == "tune.cache_miss":
+                misses += 1
+            elif name == "tune.fallback":
+                fallbacks += 1
+        elif rec.get("type") == "span":
+            attrs = rec.get("attrs", {})
+            if name == "tune.search":
+                searches += 1
+                avoided = attrs.get("trials_avoided")
+                if isinstance(avoided, (int, float)):
+                    trials_avoided += int(avoided)
+                cand = attrs.get("candidates")
+                if isinstance(cand, (int, float)):
+                    candidates += int(cand)
+            elif name == "tune.explore":
+                evals = attrs.get("evaluations")
+                if isinstance(evals, (int, float)):
+                    explore_evals += int(evals)
+    return {
+        "hits": hits,
+        "misses": misses,
+        "searches": searches,
+        "fallbacks": fallbacks,
+        "trials_avoided": trials_avoided,
+        "candidates": candidates,
+        "explore_evals": explore_evals,
+    }
+
+
+def format_tune_line(stats: dict[str, float | int]) -> str:
+    """Human-readable autotuning footer for ``summary``."""
+    if not any(stats.values()):
+        return "tune: no autotuning activity in trace"
+    total = stats["hits"] + stats["misses"]
+    parts = [f"{stats['hits']}/{total} cache hit(s)"]
+    if stats["searches"]:
+        parts.append(
+            f"{stats['searches']} learned search(es) avoiding "
+            f"{stats['trials_avoided']}/{stats['candidates']} trial(s)"
+        )
+    if stats["fallbacks"]:
+        parts.append(f"{stats['fallbacks']} fallback(s)-to-exact")
+    if stats["explore_evals"]:
+        parts.append(f"{stats['explore_evals']} explorer evaluation(s)")
+    return "tune: " + ", ".join(parts)
+
+
 #: resilience event names counted by :func:`resilience_summary`, in the
 #: order the summary line reports them.
 RESILIENCE_EVENTS = (

@@ -17,6 +17,7 @@ half-empty.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Iterable
@@ -212,17 +213,67 @@ def records_from_trace(records: Iterable[JsonDict]) -> tuple[list[JsonDict], int
     return out, skipped
 
 
+def split_key(record: JsonDict) -> str:
+    """The identity a train/val split hashes on.
+
+    The span ``identity`` alone is too coarse — two graphs with the
+    same (kind, kernel, backend, F) collide — so the key also carries
+    the launch shape (rows, nnz) and the config token.  All records of
+    one (structure, config, F, device) point then land on the *same*
+    side of the split, which is what keeps evaluation honest: the model
+    never scores a point it memorized under a different trace file.
+    """
+    return "|".join(
+        str(record.get(field, "?"))
+        for field in ("identity", "rows", "nnz", "config", "device")
+    )
+
+
+def split_fraction(record: JsonDict, *, salt: str = "") -> float:
+    """Deterministic position of a record's identity in [0, 1).
+
+    blake2b of :func:`split_key` (plus an optional salt for resampling
+    a different partition) — stable across processes, platforms, and
+    record order, unlike ``hash()``.
+    """
+    digest = hashlib.blake2b(
+        (salt + split_key(record)).encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+def split_side(
+    record: JsonDict, *, val_fraction: float = 0.2, salt: str = ""
+) -> str:
+    """``"train"`` or ``"val"`` for one record (deterministic)."""
+    return "val" if split_fraction(record, salt=salt) < val_fraction else "train"
+
+
 def export_dataset(
-    trace_paths: Iterable[str | Path], out_path: str | Path
+    trace_paths: Iterable[str | Path],
+    out_path: str | Path,
+    *,
+    split: str | None = None,
+    val_fraction: float = 0.2,
+    split_salt: str = "",
 ) -> tuple[int, int]:
     """Export every kernel launch in ``trace_paths`` to JSONL.
 
     Returns ``(records written, kernel spans skipped)``.  Corrupt trace
     lines are tolerated (the lenient reader) — a crashed run's partial
     trace still yields its completed launches.
+
+    ``split="train"`` / ``"val"`` keeps only that side of the
+    deterministic hash partition (:func:`split_side`): exporting the
+    same traces twice with the two values yields disjoint files whose
+    union is the unsplit export, independent of trace order.
     """
     from repro.obs.export import read_trace_lenient
 
+    if split is not None and split not in ("train", "val"):
+        raise ValueError(f"split must be 'train', 'val' or None, got {split!r}")
+    if not (0.0 < val_fraction < 1.0):
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
     written = skipped = 0
     out = Path(out_path)
     with out.open("w", encoding="utf-8") as fh:
@@ -231,6 +282,10 @@ def export_dataset(
             flat, bad = records_from_trace(records)
             skipped += bad
             for record in flat:
+                if split is not None and split_side(
+                    record, val_fraction=val_fraction, salt=split_salt
+                ) != split:
+                    continue
                 record["trace"] = str(path)
                 fh.write(json.dumps(record, separators=(",", ":")) + "\n")
                 written += 1

@@ -5,14 +5,17 @@ here, from the environment with typed validation, so a deployment is
 tunable without code changes and a misconfiguration fails loudly at
 startup rather than as mystery latency:
 
-=============================  =========  ================================
-``REPRO_SERVE_MAX_BATCH``      32         max requests fused per launch
-``REPRO_SERVE_MAX_DELAY_US``   2000       micro-batcher linger budget
-``REPRO_SERVE_QUEUE_DEPTH``    256        admission bound (shed beyond)
-``REPRO_SERVE_TIMEOUT_MS``     10000      per-request deadline (0 = none)
-``REPRO_SERVE_RETRIES``        2          unbatched retry budget
-``REPRO_SERVE_BATCHING``       1          0/false = serve one-at-a-time
-=============================  =========  ================================
+==============================  =========  ================================
+``REPRO_SERVE_MAX_BATCH``       32         max requests fused per launch
+``REPRO_SERVE_MAX_DELAY_US``    2000       micro-batcher linger budget
+``REPRO_SERVE_QUEUE_DEPTH``     256        admission bound (shed beyond)
+``REPRO_SERVE_TIMEOUT_MS``      10000      per-request deadline (0 = none)
+``REPRO_SERVE_RETRIES``         2          unbatched retry budget
+``REPRO_SERVE_BATCHING``        1          0/false = serve one-at-a-time
+``REPRO_SERVE_ADAPTIVE``        0          adapt batch cap to queue depth
+``REPRO_SERVE_ADAPTIVE_ALPHA``  0.2        EWMA smoothing of queue depth
+``REPRO_SERVE_TUNED``           0          autotune the fused SpMM config
+==============================  =========  ================================
 
 The retry default tracks the fault injector's burst bound: with
 ``retries=2`` a degraded request gets three attempts while
@@ -84,8 +87,20 @@ class ServeConfig:
     retries: int = 2
     #: False serves every request as its own launch (the A/B baseline)
     batching: bool = True
+    #: adapt the effective batch cap to the observed queue depth (EWMA
+    #: controller in the drain loop); off = the static ``max_batch`` cap
+    adaptive: bool = False
+    #: EWMA smoothing factor for the adaptive controller, in (0, 1]
+    adaptive_alpha: float = 0.2
+    #: autotune the fused launch's GNNOne config per batch width
+    #: (``core.autotune`` — honors ``REPRO_TUNE`` for learned search)
+    tuned: bool = False
 
     def __post_init__(self) -> None:
+        if not (0.0 < self.adaptive_alpha <= 1.0):
+            raise ConfigError(
+                f"adaptive_alpha must be in (0, 1], got {self.adaptive_alpha}"
+            )
         if self.max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_delay_us < 0:
@@ -107,6 +122,11 @@ class ServeConfig:
             "timeout_ms": _env_float("TIMEOUT_MS", cls.timeout_ms),
             "retries": _env_int("RETRIES", cls.retries, minimum=0),
             "batching": _env_bool("BATCHING", cls.batching),
+            "adaptive": _env_bool("ADAPTIVE", cls.adaptive),
+            "adaptive_alpha": _env_float(
+                "ADAPTIVE_ALPHA", cls.adaptive_alpha, minimum=1e-6
+            ),
+            "tuned": _env_bool("TUNED", cls.tuned),
         }
         values.update(overrides)
         return cls(**values)

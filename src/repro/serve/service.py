@@ -44,6 +44,7 @@ and ``timeline`` reconstruct the serving picture from a trace.
 from __future__ import annotations
 
 import asyncio
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -75,6 +76,44 @@ _ENV_BACKEND = "REPRO_EXEC_BACKEND"
 def _bucket(width: int) -> int:
     """Next power of two >= width: the batcher's plan-key quantizer."""
     return 1 << max(0, int(width) - 1).bit_length() if width > 1 else 1
+
+
+class AdaptiveBatchLimit:
+    """EWMA queue-depth tracker driving the effective batch cap.
+
+    ``REPRO_SERVE_ADAPTIVE=1``: instead of always collecting up to the
+    static ``max_batch``, the drain loop sizes each batch to clear the
+    *smoothed* backlog in one launch — ``ceil(ewma(qsize)) + 1`` (the
+    ``+1`` is the request already popped), clamped to
+    ``[1, max_batch]``.  Light load degenerates to near-unbatched
+    dispatch (no linger-window latency tax chasing occupancy that isn't
+    there); a deepening queue grows the cap back toward ``max_batch``.
+    The EWMA keeps one stray burst from whipsawing the cap.
+    """
+
+    def __init__(self, max_batch: int, alpha: float):
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if not (0.0 < alpha <= 1.0):
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        self.max_batch = int(max_batch)
+        self.alpha = float(alpha)
+        self.ewma = 0.0
+        self.observations = 0
+
+    def observe(self, depth: int) -> None:
+        """Fold one queue-depth sample into the smoothed backlog."""
+        depth = max(0, int(depth))
+        if self.observations == 0:
+            self.ewma = float(depth)  # seed at the first sample
+        else:
+            self.ewma = self.alpha * depth + (1.0 - self.alpha) * self.ewma
+        self.observations += 1
+
+    @property
+    def limit(self) -> int:
+        """The current effective batch cap."""
+        return max(1, min(self.max_batch, int(math.ceil(self.ewma)) + 1))
 
 
 @dataclass
@@ -302,9 +341,20 @@ class InferenceService:
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         linger = self.config.max_delay_us / 1e6
-        limit = self.config.max_batch if self.config.batching else 1
+        static_limit = self.config.max_batch if self.config.batching else 1
+        controller = (
+            AdaptiveBatchLimit(self.config.max_batch, self.config.adaptive_alpha)
+            if self.config.adaptive and self.config.batching
+            else None
+        )
         while True:
             batch = [await self._queue.get()]
+            if controller is None:
+                limit = static_limit
+            else:
+                controller.observe(self._queue.qsize())
+                limit = controller.limit
+                obs.get_metrics().gauge("serve.adaptive_limit").set(limit)
             # Greedy collection under a (max_batch, max_delay) cap.  A
             # ready queue drains without yielding; an empty one gets two
             # event-loop yields so producers woken by the previous
@@ -418,7 +468,10 @@ class InferenceService:
         for req, width in zip(requests, widths):
             stacked[:, col : col + width] = req.payload
             col += width
-        out, cost = core.spmm(self.graph.coo, self.graph.gcn_edge_values, stacked)
+        out, cost = core.spmm(
+            self.graph.coo, self.graph.gcn_edge_values, stacked,
+            config=self._tuned_config(stacked.shape[1]),
+        )
         sp.add_sim_us(cost.time_us)
         results, lo = [], 0
         for req, width in zip(requests, widths):
@@ -440,7 +493,8 @@ class InferenceService:
                 padded = np.zeros((x.shape[0], _bucket(x.shape[1])))
                 padded[:, : x.shape[1]] = x
                 out, _ = core.spmm(
-                    self.graph.coo, self.graph.gcn_edge_values, padded
+                    self.graph.coo, self.graph.gcn_edge_values, padded,
+                    config=self._tuned_config(padded.shape[1]),
                 )
                 sliced = np.ascontiguousarray(out[:, : x.shape[1]])
                 return sliced[:, 0] if req.squeeze else sliced
@@ -452,6 +506,19 @@ class InferenceService:
             except Exception as e:
                 return e
         return FaultInjectedError("unreachable: retry loop exhausted")
+
+    def _tuned_config(self, width: int):
+        """The autotuned GNNOne config for a bucketed batch width.
+
+        ``None`` (the paper default config) unless the service was
+        started with ``tuned=True`` / ``REPRO_SERVE_TUNED=1``.  Widths
+        are already power-of-two bucketed, and ``core.autotune`` memoizes
+        per (structure, F, device, strategy), so each bucket tunes once
+        per process; the search strategy follows ``REPRO_TUNE``.
+        """
+        if not self.config.tuned:
+            return None
+        return core.autotune(self.graph.coo, int(width), "spmm").config
 
     def _forward(self) -> np.ndarray:
         """One deterministic model forward over the resident features."""

@@ -1,0 +1,265 @@
+"""Featurizer: (graph census, kernel config, F, device) -> model inputs.
+
+The learned cost model (:mod:`repro.tune.model`) conditions only on
+information available *before* a launch is simulated: the graph's
+memoized structural census (:func:`repro.sparse.stats.graph_feature_dict`),
+the kernel configuration knobs the autotuner searches, the feature
+length, and the :class:`~repro.gpusim.device.DeviceSpec` constants.
+Nothing derived from the simulation itself (launch geometry, occupancy,
+warp counters) may appear here — those are what the model exists to
+avoid computing.
+
+Two entry points produce the *same* vector layout:
+
+* :func:`featurize_record` — offline, from one flat JSONL record
+  exported by :mod:`repro.obs.dataset` (training);
+* :func:`featurize_launch` — online, from a live ``COOMatrix`` +
+  candidate config (the pruned search ranks the whole candidate space
+  with one batched ``predict``).
+
+The layout is versioned (:data:`FEATURE_VERSION`); a persisted model
+artifact records the version and the exact name list, and refuses to
+load against a mismatched featurizer, so a stale artifact fails loudly
+instead of silently mis-ranking.
+
+Cache-size and schedule are parsed from the record's ``config`` string
+(the kernel's full ``cache_token``); records whose config does not
+carry them (baseline kernels, spmv) fall back to the paper defaults,
+which keeps the featurizer total — every valid dataset record
+featurizes.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.gpusim.device import DeviceSpec
+from repro.kernels.gnnone.config import CONSECUTIVE, ROUND_ROBIN
+
+#: bump when the vector layout below changes (checked at artifact load)
+FEATURE_VERSION = 1
+
+#: ordered names of the feature vector, the single source of truth for
+#: both featurization paths and the persisted artifact metadata.
+FEATURE_NAMES: tuple[str, ...] = (
+    # --- workload scale (log-compressed: sim time is multiplicative) --
+    "log_rows",
+    "log_nnz",
+    "log_f",
+    "log_work",            # log1p(nnz * f): the dominant cost driver
+    # --- graph structure (the census the paper's argument runs on) ----
+    "log_avg_degree",
+    "degree_cv",
+    "gini",
+    "row_segments_per_128",
+    "log_max_degree",
+    "log_density",
+    # --- operation kind ----------------------------------------------
+    "kind_spmm",
+    "kind_sddmm",
+    "kind_spmv",
+    # --- kernel configuration (the searched knobs) -------------------
+    "log2_cache",
+    "log2_cache_sq",
+    "sched_round_robin",
+    "log2_threads_per_cta",
+    # --- device constants --------------------------------------------
+    "log_num_sms",
+    "clock_ghz",
+    "log_dram_gbps",
+    "dram_latency_kcycles",
+    # --- interactions: how the config knobs bend with the structure --
+    "cache_x_avg_degree",
+    "cache_x_row_segments",
+    "cache_x_degree_cv",
+    "cache_x_log_f",
+    "cache_x_sddmm",
+    "cache_sq_x_avg_degree",
+    "rr_x_avg_degree",
+    "rr_x_row_segments",
+    "rr_x_log_f",
+)
+
+#: default knobs assumed when a record's config string carries none
+#: (baseline kernels, spmv) — the paper's shipping configuration.
+DEFAULT_CACHE_SIZE = 128
+DEFAULT_THREADS_PER_CTA = 128
+
+_CACHE_RE = re.compile(r"cache_size=(\d+)")
+_SCHED_RE = re.compile(r"schedule='?(\w+)'?")
+_TPC_RE = re.compile(r"threads_per_cta=(\d+)")
+#: the kernel display name also carries ``[c<cache>,<schedule>]``
+_NAME_RE = re.compile(r"\[c(\d+),(\w+)\]")
+
+
+def parse_config_knobs(
+    config: str, kernel_name: str = ""
+) -> tuple[int, str, int]:
+    """(cache_size, schedule, threads_per_cta) from a record's strings.
+
+    Reads the full ``cache_token`` repr first, then the display name's
+    ``[c128,consecutive]`` suffix, then the defaults — so GNNOne
+    records featurize exactly and baseline/spmv records degrade to the
+    paper configuration instead of failing.
+    """
+    m = _CACHE_RE.search(config)
+    cache = int(m.group(1)) if m else None
+    m = _SCHED_RE.search(config)
+    sched = m.group(1) if m and m.group(1) in (CONSECUTIVE, ROUND_ROBIN) else None
+    if cache is None or sched is None:
+        m = _NAME_RE.search(kernel_name)
+        if m:
+            cache = cache if cache is not None else int(m.group(1))
+            sched = sched if sched is not None else m.group(2)
+    m = _TPC_RE.search(config)
+    tpc = int(m.group(1)) if m else DEFAULT_THREADS_PER_CTA
+    return (
+        cache if cache is not None else DEFAULT_CACHE_SIZE,
+        sched if sched is not None else CONSECUTIVE,
+        tpc,
+    )
+
+
+def _assemble(
+    *,
+    rows: int,
+    nnz: int,
+    f: int,
+    avg_degree: float,
+    degree_cv: float,
+    gini: float,
+    row_segments_per_128: float,
+    max_degree: int,
+    density: float,
+    kind: str,
+    cache_size: int,
+    schedule: str,
+    threads_per_cta: int,
+    device_num_sms: int,
+    device_clock_ghz: float,
+    device_dram_gbps: float,
+    device_dram_latency_cycles: float,
+) -> np.ndarray:
+    log_f = math.log(max(1, f))
+    log_avg_degree = math.log1p(max(0.0, avg_degree))
+    log2_cache = math.log2(max(1, cache_size))
+    rr = 1.0 if schedule == ROUND_ROBIN else 0.0
+    segs = float(row_segments_per_128)
+    values = (
+        math.log1p(max(0, rows)),
+        math.log1p(max(0, nnz)),
+        log_f,
+        math.log1p(max(0, nnz) * max(1, f)),
+        log_avg_degree,
+        float(degree_cv),
+        float(gini),
+        segs,
+        math.log1p(max(0, max_degree)),
+        math.log(max(1e-12, density)),
+        1.0 if kind == "spmm" else 0.0,
+        1.0 if kind == "sddmm" else 0.0,
+        1.0 if kind == "spmv" else 0.0,
+        log2_cache,
+        log2_cache * log2_cache,
+        rr,
+        math.log2(max(1, threads_per_cta)),
+        math.log(max(1, device_num_sms)),
+        float(device_clock_ghz),
+        math.log(max(1e-12, device_dram_gbps)),
+        float(device_dram_latency_cycles) / 1e3,
+        log2_cache * log_avg_degree,
+        log2_cache * segs,
+        log2_cache * float(degree_cv),
+        log2_cache * log_f,
+        log2_cache * (1.0 if kind == "sddmm" else 0.0),
+        log2_cache * log2_cache * log_avg_degree,
+        rr * log_avg_degree,
+        rr * segs,
+        rr * log_f,
+    )
+    vec = np.asarray(values, dtype=np.float64)
+    assert vec.shape == (len(FEATURE_NAMES),)
+    return vec
+
+
+def featurize_record(record: dict[str, Any]) -> np.ndarray:
+    """Feature vector of one :mod:`repro.obs.dataset` JSONL record."""
+    graph = record.get("graph", {})
+    cache, sched, tpc = parse_config_knobs(
+        str(record.get("config", "")), str(record.get("kernel", ""))
+    )
+    return _assemble(
+        rows=int(record.get("rows", 0)),
+        nnz=int(record.get("nnz", 0)),
+        f=int(record.get("f", 1)),
+        avg_degree=float(graph.get("avg_degree", 0.0)),
+        degree_cv=float(graph.get("degree_cv", 0.0)),
+        gini=float(graph.get("gini", 0.0)),
+        row_segments_per_128=float(graph.get("row_segments_per_128", 0.0)),
+        max_degree=int(graph.get("max_degree", 0)),
+        density=float(graph.get("density", 0.0)),
+        kind=str(record.get("kind", "spmm")),
+        cache_size=cache,
+        schedule=sched,
+        threads_per_cta=tpc,
+        device_num_sms=int(record.get("device_num_sms", 108)),
+        device_clock_ghz=float(record.get("device_clock_ghz", 1.41)),
+        device_dram_gbps=float(record.get("device_dram_gbps", 1555.0)),
+        device_dram_latency_cycles=float(
+            record.get("device_dram_latency_cycles", 480.0)
+        ),
+    )
+
+
+def featurize_launch(
+    graph_features: dict[str, Any],
+    *,
+    kind: str,
+    feature_length: int,
+    cache_size: int,
+    schedule: str,
+    threads_per_cta: int = DEFAULT_THREADS_PER_CTA,
+    device: DeviceSpec,
+) -> np.ndarray:
+    """Feature vector of one *candidate* launch, before any simulation.
+
+    ``graph_features`` is :func:`repro.sparse.stats.graph_feature_dict`
+    output (memoized per structure token, so ranking a whole candidate
+    space touches the census once).
+    """
+    return _assemble(
+        rows=int(graph_features.get("num_vertices", 0)),
+        nnz=int(graph_features.get("num_edges", 0)),
+        f=int(feature_length),
+        avg_degree=float(graph_features.get("avg_degree", 0.0)),
+        degree_cv=float(graph_features.get("degree_cv", 0.0)),
+        gini=float(graph_features.get("gini", 0.0)),
+        row_segments_per_128=float(graph_features.get("row_segments_per_128", 0.0)),
+        max_degree=int(graph_features.get("max_degree", 0)),
+        density=float(graph_features.get("density", 0.0)),
+        kind=kind,
+        cache_size=cache_size,
+        schedule=schedule,
+        threads_per_cta=threads_per_cta,
+        device_num_sms=device.num_sms,
+        device_clock_ghz=device.clock_ghz,
+        device_dram_gbps=device.dram_bandwidth_gbps,
+        device_dram_latency_cycles=device.dram_latency_cycles,
+    )
+
+
+def feature_matrix(records: Iterable[dict[str, Any]]) -> np.ndarray:
+    """Stack record feature vectors into an ``(n, d)`` design matrix."""
+    vectors = [featurize_record(r) for r in records]
+    if not vectors:
+        return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+    return np.vstack(vectors)
+
+
+def target_vector(records: Sequence[dict[str, Any]]) -> np.ndarray:
+    """Simulated-time targets (microseconds) of a record batch."""
+    return np.asarray([float(r.get("sim_us", 0.0)) for r in records], np.float64)

@@ -371,3 +371,84 @@ class TestServeConfig:
             serve.ServeConfig(max_batch=0)
         with pytest.raises(ConfigError):
             serve.ServeConfig(retries=-1)
+
+    def test_adaptive_off_by_default(self, monkeypatch):
+        for name in ("REPRO_SERVE_ADAPTIVE", "REPRO_SERVE_TUNED"):
+            monkeypatch.delenv(name, raising=False)
+        config = serve.ServeConfig.from_env()
+        assert config.adaptive is False
+        assert config.tuned is False
+
+    def test_adaptive_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_ADAPTIVE", "1")
+        monkeypatch.setenv("REPRO_SERVE_ADAPTIVE_ALPHA", "0.5")
+        config = serve.ServeConfig.from_env()
+        assert config.adaptive is True
+        assert config.adaptive_alpha == 0.5
+
+    def test_adaptive_alpha_validated(self):
+        with pytest.raises(ConfigError):
+            serve.ServeConfig(adaptive_alpha=0.0)
+        with pytest.raises(ConfigError):
+            serve.ServeConfig(adaptive_alpha=1.5)
+
+
+class TestAdaptiveBatching:
+    def test_controller_seeds_then_smooths(self):
+        from repro.serve.service import AdaptiveBatchLimit
+
+        ctl = AdaptiveBatchLimit(32, alpha=0.5)
+        ctl.observe(10)
+        assert ctl.ewma == 10.0  # first sample seeds, not decays from 0
+        ctl.observe(0)
+        assert ctl.ewma == 5.0
+        assert ctl.limit == 6  # ceil(5) + 1, under the cap
+
+    def test_controller_clamps_to_bounds(self):
+        from repro.serve.service import AdaptiveBatchLimit
+
+        ctl = AdaptiveBatchLimit(8, alpha=1.0)
+        ctl.observe(0)
+        assert ctl.limit == 1  # idle queue -> effectively unbatched
+        ctl.observe(500)
+        assert ctl.limit == 8  # deep backlog -> the static cap
+
+    def test_controller_validation(self):
+        from repro.serve.service import AdaptiveBatchLimit
+
+        with pytest.raises(ConfigError):
+            AdaptiveBatchLimit(0, alpha=0.5)
+        with pytest.raises(ConfigError):
+            AdaptiveBatchLimit(8, alpha=0.0)
+
+    def test_adaptive_service_still_bit_identical(self, small_graph, rng):
+        graph = _graph(small_graph)
+        payloads = [rng.standard_normal(graph.num_vertices) for _ in range(12)]
+        refs = [_serial(graph, p) for p in payloads]
+        config = serve.ServeConfig(adaptive=True, adaptive_alpha=0.3,
+                                   max_batch=4, max_delay_us=500)
+        results, service = _run(_serve_all(graph, payloads, config))
+        for got, want in zip(results, refs):
+            np.testing.assert_array_equal(got, want)
+        assert service.stats.requests == len(payloads)
+
+    def test_adaptive_limit_gauge_exported(self, small_graph, rng):
+        obs.reset_metrics()
+        graph = _graph(small_graph)
+        payloads = [rng.standard_normal(graph.num_vertices) for _ in range(6)]
+        config = serve.ServeConfig(adaptive=True, max_batch=4)
+        _run(_serve_all(graph, payloads, config))
+        limit = obs.get_metrics().gauge("serve.adaptive_limit").value
+        assert 1 <= limit <= 4
+
+    def test_tuned_service_still_bit_identical(self, small_graph, rng):
+        # tuned=True swaps in the autotuned config; responses must still
+        # match the default-config serial reference bit-for-bit (the
+        # numerics are config-independent; only simulated time shifts).
+        graph = _graph(small_graph)
+        payloads = [rng.standard_normal(graph.num_vertices) for _ in range(6)]
+        refs = [_serial(graph, p) for p in payloads]
+        config = serve.ServeConfig(tuned=True, max_batch=4)
+        results, _ = _run(_serve_all(graph, payloads, config))
+        for got, want in zip(results, refs):
+            np.testing.assert_array_equal(got, want)
