@@ -18,6 +18,10 @@ measures what micro-batching buys:
 * **chaos** — the run repeats under the ``chaos`` fault profile
   (``serve.batch_fail`` armed): degraded batches and retries are
   expected, wrong responses are not.
+* **transport** — the same closed loop over the loopback TCP
+  transport (``ServeTransport`` + ``ServeClient``, PR 10), isolating
+  the clean-path RPC cost as a requests/sec row; chaos behavior over
+  the wire lives in ``scripts/chaos_serve.py``.
 
 Writes ``BENCH_serve.json`` plus a SHA-stamped ``BENCH_trajectory.json``
 entry.  ``--check`` turns the acceptance criteria into exit status:
@@ -299,6 +303,57 @@ def _bench_chaos(graph, columns, refs, *, quick: bool) -> dict:
     }
 
 
+def _bench_transport(graph, columns, refs, *, quick: bool) -> dict:
+    """Closed loop over the loopback TCP transport (PR 10).
+
+    Same event loop for server and clients, so the row isolates the
+    RPC machinery (framing, dedup bookkeeping, scheduler) rather than
+    the network.  Faults are masked: this is the clean-path number;
+    behavior *under* chaos is ``scripts/chaos_serve.py``'s job.
+    """
+    from repro.resilience.faults import no_faults
+    from repro.serve import InferenceService, ServeConfig, ServeTransport
+    from repro.serve.client import ServeClient
+
+    clients, per_client = (16, 10) if quick else (24, 25)
+
+    async def run():
+        responses: dict[int, np.ndarray] = {}
+        service = InferenceService(graph, config=ServeConfig.from_env())
+        transport = ServeTransport(service, port=0)
+        await transport.start()
+        client = ServeClient(port=transport.port)
+        try:
+            await client.propagate(columns[0])  # connect + plan warm-up
+
+            async def worker(cid: int) -> None:
+                for i in range(per_client):
+                    key = cid * per_client + i
+                    responses[key] = await client.propagate(
+                        columns[key % len(columns)]
+                    )
+
+            t0 = time.perf_counter()
+            await asyncio.gather(*[worker(c) for c in range(clients)])
+            wall_s = time.perf_counter() - t0
+        finally:
+            await client.close()
+            await transport.shutdown()
+        return wall_s, responses, service.stats
+
+    with no_faults():
+        wall_s, responses, stats = asyncio.run(run())
+    n = clients * per_client
+    return {
+        "clients": clients,
+        "requests": n,
+        "wall_s": wall_s,
+        "requests_per_s": n / wall_s,
+        "wrong_responses": _check_responses(responses, refs, per_client),
+        **stats.to_dict(),
+    }
+
+
 def _check_report(report: dict) -> list[str]:
     problems = []
     thr = report.get("throughput")
@@ -338,6 +393,12 @@ def _check_report(report: dict) -> list[str]:
     if report["chaos"]["wrong_responses"]:
         problems.append(
             f"chaos: {report['chaos']['wrong_responses']} wrong response(s)"
+        )
+    transport = report.get("transport")
+    if transport and transport["wrong_responses"]:
+        problems.append(
+            f"transport: {transport['wrong_responses']} response(s) differ "
+            f"from serial reference over the wire"
         )
     return problems
 
@@ -402,6 +463,8 @@ def main(argv: list[str] | None = None) -> int:
     report["poisson"] = _bench_poisson(graph, columns, refs,
                                        rate_rps=rate, quick=args.quick)
     report["chaos"] = _bench_chaos(graph, columns, refs, quick=args.quick)
+    report["transport"] = _bench_transport(graph, columns, refs,
+                                           quick=args.quick)
 
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
                               encoding="utf-8")
@@ -422,6 +485,7 @@ def main(argv: list[str] | None = None) -> int:
             "poisson_p50_ms": report["poisson"]["p50_ms"],
             "poisson_p99_ms": report["poisson"]["p99_ms"],
             "chaos_wrong": report["chaos"]["wrong_responses"],
+            "transport_rps": report["transport"]["requests_per_s"],
         })
 
     thr = report["throughput"]
@@ -441,6 +505,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"chaos: {report['chaos']['degraded']} degrade(s), "
           f"{report['chaos']['retries']} retry(ies), "
           f"{report['chaos']['wrong_responses']} wrong response(s)")
+    print(f"transport: {report['transport']['requests_per_s']:8.1f} req/s "
+          f"over loopback TCP "
+          f"({report['transport']['wrong_responses']} wrong)")
     print(f"wrote {args.out}")
 
     if args.check:

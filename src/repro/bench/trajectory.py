@@ -9,12 +9,20 @@ inflate the trajectory, while runs across commits still accumulate.
 
 Legacy entries written before SHA stamping (no ``"sha"`` key) are
 preserved untouched; they can never match a stamped entry.
+
+Loading is lenient, mirroring ``repro.obs.export.read_trace_lenient``:
+a trajectory file torn by a crashed writer (truncated tail, junk bytes)
+or containing non-record entries salvages every parseable entry,
+quarantines the rest, and warns on stderr — a corrupt history must
+degrade a benchmark run to a shorter trajectory, never abort it or
+silently start over.
 """
 
 from __future__ import annotations
 
 import json
 import subprocess
+import sys
 from pathlib import Path
 
 
@@ -30,16 +38,77 @@ def git_sha(short: bool = True) -> str | None:
     return out or None
 
 
+def _warn(path: Path, message: str) -> None:
+    print(f"warning: {path}: {message}", file=sys.stderr)
+
+
+def _salvage_entries(text: str) -> list[dict] | None:
+    """Recover complete JSON objects from a torn trajectory file.
+
+    The writer emits ``json.dumps(list, indent=2)``, so every entry
+    opens with a line reading ``  {`` and closes with ``  }``; a write
+    torn mid-entry leaves a parseable prefix of complete entries that
+    a raw decode can walk.  Returns ``None`` when nothing is
+    recoverable (not even the opening ``[``).
+    """
+    lbracket = text.find("[")
+    if lbracket < 0:
+        return None
+    decoder = json.JSONDecoder()
+    entries: list[dict] = []
+    pos = lbracket + 1
+    while True:
+        brace = text.find("{", pos)
+        if brace < 0:
+            break
+        try:
+            obj, end = decoder.raw_decode(text, brace)
+        except ValueError:
+            break  # torn mid-entry: everything before it was salvaged
+        if isinstance(obj, dict):
+            entries.append(obj)
+        pos = end
+    return entries
+
+
 def load_trajectory(path: str | Path) -> list[dict]:
-    """The current trajectory list; corrupt/missing files restart it."""
+    """The current trajectory list, leniently.
+
+    Unparseable files are salvaged entry-by-entry (truncated tail from
+    a torn write, junk framing); non-dict entries inside a valid list
+    are quarantined.  Anything dropped is warned about on stderr with a
+    count, so a corrupt history shortens the trajectory visibly instead
+    of aborting the bench run or silently resetting it.
+    """
     p = Path(path)
     if not p.exists():
         return []
     try:
-        loaded = json.loads(p.read_text(encoding="utf-8"))
-    except (OSError, ValueError):
+        text = p.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        _warn(p, f"unreadable trajectory ({e}); starting fresh")
         return []
-    return loaded if isinstance(loaded, list) else []
+    try:
+        loaded = json.loads(text)
+    except ValueError:
+        salvaged = _salvage_entries(text)
+        if salvaged is None:
+            _warn(p, "trajectory is not JSON and nothing was salvageable; "
+                     "starting fresh")
+            return []
+        _warn(p, f"trajectory is corrupt/truncated; salvaged "
+                 f"{len(salvaged)} complete entr{'y' if len(salvaged) == 1 else 'ies'}")
+        return salvaged
+    if not isinstance(loaded, list):
+        _warn(p, f"trajectory is a JSON {type(loaded).__name__}, not a list; "
+                 "starting fresh")
+        return []
+    entries = [e for e in loaded if isinstance(e, dict)]
+    dropped = len(loaded) - len(entries)
+    if dropped:
+        _warn(p, f"quarantined {dropped} non-record trajectory entr"
+                 f"{'y' if dropped == 1 else 'ies'}")
+    return entries
 
 
 def append_trajectory(path: str | Path, entry: dict) -> dict:

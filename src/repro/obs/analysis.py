@@ -233,12 +233,16 @@ def serve_summary(records: Iterable[JsonDict]) -> dict[str, float | int]:
     ``serve.request`` spans carry per-request wall latency (emitted
     retroactively via :func:`repro.obs.spans.emit_span` since a request
     crosses tasks); ``serve.batch`` spans carry the fused-launch
-    occupancy; ``serve.shed`` / ``serve.degraded`` events count
-    admission rejections and unbatched fallbacks.
+    occupancy; ``serve.rpc`` spans are the transport edge;
+    ``serve.shed`` / ``serve.degraded`` / ``serve.deadline_shed`` /
+    ``serve.breaker`` / ``serve.client_retry`` events count admission
+    rejections, unbatched fallbacks, pre-launch deadline sheds, breaker
+    transitions, and client transport retries.
     """
     latencies: list[float] = []
     occupancies: list[float] = []
     shed = degraded = timeouts = 0
+    deadline_shed = breaker_transitions = client_retries = rpcs = 0
     for rec in records:
         name = rec.get("name", "")
         if rec.get("type") == "span":
@@ -250,6 +254,8 @@ def serve_summary(records: Iterable[JsonDict]) -> dict[str, float | int]:
                 occ = rec.get("attrs", {}).get("occupancy")
                 if isinstance(occ, (int, float)):
                     occupancies.append(float(occ))
+            elif name == "serve.rpc":
+                rpcs += 1
         elif rec.get("type") == "event":
             if name == "serve.shed":
                 shed += 1
@@ -257,12 +263,22 @@ def serve_summary(records: Iterable[JsonDict]) -> dict[str, float | int]:
                 degraded += 1
             elif name == "serve.timeout":
                 timeouts += 1
+            elif name == "serve.deadline_shed":
+                deadline_shed += 1
+            elif name == "serve.breaker":
+                breaker_transitions += 1
+            elif name == "serve.client_retry":
+                client_retries += 1
     latencies.sort()
     return {
         "requests": len(latencies),
         "shed": shed,
         "timeouts": timeouts,
         "degraded": degraded,
+        "deadline_shed": deadline_shed,
+        "breaker_transitions": breaker_transitions,
+        "client_retries": client_retries,
+        "rpcs": rpcs,
         "batches": len(occupancies),
         "mean_occupancy": (sum(occupancies) / len(occupancies)) if occupancies else 0.0,
         "p50_ms": _percentile(latencies, 0.50),
@@ -284,6 +300,14 @@ def format_serve_line(stats: dict[str, float | int]) -> str:
         extras.append(f"{stats['timeouts']} timeout(s)")
     if stats.get("degraded"):
         extras.append(f"{stats['degraded']} degrade(s)-to-unbatched")
+    if stats.get("deadline_shed"):
+        extras.append(f"{stats['deadline_shed']} deadline-shed")
+    if stats.get("breaker_transitions"):
+        extras.append(f"{stats['breaker_transitions']} breaker transition(s)")
+    if stats.get("rpcs"):
+        extras.append(f"{stats['rpcs']} rpc(s)")
+    if stats.get("client_retries"):
+        extras.append(f"{stats['client_retries']} client retry(ies)")
     if extras:
         line += ", " + ", ".join(extras)
     return line

@@ -19,6 +19,7 @@ one — the property the resilience test suite pins.
 from __future__ import annotations
 
 import json
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -169,13 +170,24 @@ class CheckpointManager:
         npz_path = self._npz_path(epoch)
         if not meta_path.exists() or not npz_path.exists():
             raise ResilienceError(f"no checkpoint for epoch {epoch} in {self.directory}")
-        meta = json.loads(meta_path.read_text())
-        with np.load(npz_path) as data:
-            params = [data[f"param_{i}"] for i in range(meta["num_params"])]
-            slots = {
-                name: [data[f"opt{name}_{i}"] for i in range(count)]
-                for name, count in meta.get("opt_slots", {}).items()
-            }
+        # Corruption (a torn npz that still got its meta written, a
+        # truncated meta, a missing array) surfaces as one typed error
+        # so resume logic can fall back instead of crashing untyped.
+        try:
+            meta = json.loads(meta_path.read_text())
+            with np.load(npz_path) as data:
+                params = [data[f"param_{i}"] for i in range(meta["num_params"])]
+                slots = {
+                    name: [data[f"opt{name}_{i}"] for i in range(count)]
+                    for name, count in meta.get("opt_slots", {}).items()
+                }
+        except ResilienceError:
+            raise
+        except Exception as e:
+            raise ResilienceError(
+                f"checkpoint for epoch {epoch} in {self.directory} is "
+                f"corrupt: {type(e).__name__}: {e}"
+            ) from e
         snapshot = TrainSnapshot(
             epoch=int(meta["epoch"]),
             params=params,
@@ -186,7 +198,24 @@ class CheckpointManager:
         return snapshot, list(meta.get("history", []))
 
     def load_latest(self) -> tuple[TrainSnapshot, list[dict[str, Any]]] | None:
-        latest = self.latest_epoch()
-        if latest is None:
-            return None
-        return self.load(latest)
+        """The newest *loadable* checkpoint, or ``None``.
+
+        The meta-written-last invariant makes a cleanly interrupted save
+        invisible, but a torn ``.npz`` under an already-written meta (or
+        bit rot in either file) can still happen; resume walks backward
+        past corrupt checkpoints — warning and counting each — rather
+        than refusing to resume a run that has older good state.
+        """
+        for epoch in reversed(self.epochs()):
+            try:
+                return self.load(epoch)
+            except ResilienceError as e:
+                obs.get_metrics().counter("resilience.checkpoint_corrupt").inc()
+                obs.event("resilience.checkpoint_corrupt", epoch=epoch,
+                          error=str(e))
+                print(
+                    f"warning: skipping corrupt checkpoint epoch {epoch} "
+                    f"in {self.directory}: {e}",
+                    file=sys.stderr,
+                )
+        return None

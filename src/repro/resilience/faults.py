@@ -36,6 +36,17 @@ Sites wired through the stack (all opt-in via profile rates):
 ``serve.batch_fail``      fail a micro-batched serve launch (exercises the
                           inference service's degrade-to-unbatched path and
                           per-request retry budget)
+``serve.deadline_storm``  collapse an arriving transport request's deadline
+                          so the scheduler sheds it pre-launch (typed
+                          :class:`~repro.errors.DeadlineExceededError`)
+``net.conn_drop``         abort the connection instead of writing a serve
+                          response (exercises client reconnect + idempotent
+                          retry against the server's dedup table)
+``net.partial_write``     write half a response frame, then abort (the
+                          client must treat a torn frame as a lost
+                          connection, never parse garbage)
+``net.slow_peer``         stall a response write (latency chaos: shuffles
+                          batch composition and backoff timing)
 ========================  =====================================================
 
 Configuration::
@@ -80,6 +91,10 @@ PROFILES: dict[str, dict[str, float]] = {
         "plancache.poison": 0.03,
         "train.loss_corrupt": 0.45,
         "serve.batch_fail": 0.2,
+        "serve.deadline_storm": 0.05,
+        "net.conn_drop": 0.08,
+        "net.partial_write": 0.05,
+        "net.slow_peer": 0.1,
     },
     "storm": {
         "exec.worker_raise": 0.5,
@@ -89,6 +104,10 @@ PROFILES: dict[str, dict[str, float]] = {
         "plancache.poison": 0.2,
         "train.loss_corrupt": 0.8,
         "serve.batch_fail": 0.5,
+        "serve.deadline_storm": 0.15,
+        "net.conn_drop": 0.25,
+        "net.partial_write": 0.15,
+        "net.slow_peer": 0.3,
     },
 }
 

@@ -3,8 +3,10 @@
 The online half of the paper's data-load argument: one resident
 topology, one plan-cache-warm fused launch per micro-batch, arbitrarily
 many concurrent requests.  See :mod:`repro.serve.service` for the
-architecture and :mod:`repro.serve.config` for the ``REPRO_SERVE_*``
-environment surface.
+architecture, :mod:`repro.serve.config` for the ``REPRO_SERVE_*``
+environment surface, and :mod:`repro.serve.transport` /
+:mod:`repro.serve.client` for the networked path (length-prefixed JSON
+frames, idempotent retries, deadline propagation).
 
 Quickstart::
 
@@ -15,24 +17,61 @@ Quickstart::
     service = serve.InferenceService(graph)
     async with service:
         y = await service.propagate(column)     # Â x, micro-batched
+
+Networked::
+
+    async with serve.ServeTransport(service, port=0) as transport:
+        async with serve.ServeClient(port=transport.port) as client:
+            y = await client.propagate(column, priority="interactive",
+                                       deadline_ms=100.0)
 """
 
 from repro.errors import (
+    CircuitOpenError,
+    ConnectionLostError,
+    DeadlineExceededError,
+    ProtocolError,
     RequestTimeoutError,
+    RetriesExhaustedError,
     ServeError,
     ServiceClosedError,
     ServiceOverloadedError,
+    TransportError,
 )
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.client import ServeClient
 from repro.serve.config import ServeConfig
+from repro.serve.scheduler import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    PRIORITY_NAMES,
+    DeadlineScheduler,
+    resolve_priority,
+)
 from repro.serve.service import FAULT_SITE, InferenceService, ServeStats
+from repro.serve.transport import ServeTransport
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ConnectionLostError",
+    "DEFAULT_PRIORITY",
+    "DeadlineExceededError",
+    "DeadlineScheduler",
     "FAULT_SITE",
     "InferenceService",
+    "PRIORITY_CLASSES",
+    "PRIORITY_NAMES",
+    "ProtocolError",
     "RequestTimeoutError",
+    "RetriesExhaustedError",
+    "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServeStats",
+    "ServeTransport",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "TransportError",
+    "resolve_priority",
 ]

@@ -5,17 +5,20 @@ here, from the environment with typed validation, so a deployment is
 tunable without code changes and a misconfiguration fails loudly at
 startup rather than as mystery latency:
 
-==============================  =========  ================================
-``REPRO_SERVE_MAX_BATCH``       32         max requests fused per launch
-``REPRO_SERVE_MAX_DELAY_US``    2000       micro-batcher linger budget
-``REPRO_SERVE_QUEUE_DEPTH``     256        admission bound (shed beyond)
-``REPRO_SERVE_TIMEOUT_MS``      10000      per-request deadline (0 = none)
-``REPRO_SERVE_RETRIES``         2          unbatched retry budget
-``REPRO_SERVE_BATCHING``        1          0/false = serve one-at-a-time
-``REPRO_SERVE_ADAPTIVE``        0          adapt batch cap to queue depth
-``REPRO_SERVE_ADAPTIVE_ALPHA``  0.2        EWMA smoothing of queue depth
-``REPRO_SERVE_TUNED``           0          autotune the fused SpMM config
-==============================  =========  ================================
+===================================  =========  ===============================
+``REPRO_SERVE_MAX_BATCH``            32         max requests fused per launch
+``REPRO_SERVE_MAX_DELAY_US``         2000       micro-batcher linger budget
+``REPRO_SERVE_QUEUE_DEPTH``          256        admission bound (shed beyond)
+``REPRO_SERVE_TIMEOUT_MS``           10000      default deadline (0 = none)
+``REPRO_SERVE_RETRIES``              2          unbatched retry budget
+``REPRO_SERVE_BATCHING``             1          0/false = serve one-at-a-time
+``REPRO_SERVE_ADAPTIVE``             0          adapt batch cap to queue depth
+``REPRO_SERVE_ADAPTIVE_ALPHA``       0.2        EWMA smoothing of queue depth
+``REPRO_SERVE_TUNED``                0          autotune the fused SpMM config
+``REPRO_SERVE_DEFAULT_PRIORITY``     standard   class for requests that name none
+``REPRO_SERVE_BREAKER_THRESHOLD``    3          consecutive batch failures to trip
+``REPRO_SERVE_BREAKER_RESET_MS``     1000       open-state cooldown before probing
+===================================  =========  ===============================
 
 The retry default tracks the fault injector's burst bound: with
 ``retries=2`` a degraded request gets three attempts while
@@ -63,6 +66,13 @@ def _env_float(name: str, default: float, *, minimum: float = 0.0) -> float:
     return value
 
 
+def _env_str(name: str, default: str) -> str:
+    raw = os.environ.get(_ENV_PREFIX + name)
+    if raw is None or raw.strip() == "":
+        return default
+    return raw.strip()
+
+
 def _env_bool(name: str, default: bool) -> bool:
     raw = os.environ.get(_ENV_PREFIX + name)
     if raw is None or raw.strip() == "":
@@ -95,8 +105,26 @@ class ServeConfig:
     #: autotune the fused launch's GNNOne config per batch width
     #: (``core.autotune`` — honors ``REPRO_TUNE`` for learned search)
     tuned: bool = False
+    #: priority class assigned to requests that don't name one
+    #: (``interactive`` > ``standard`` > ``bulk``)
+    default_priority: str = "standard"
+    #: consecutive total-batch failures that trip the circuit breaker
+    breaker_threshold: int = 3
+    #: open-breaker cooldown before a half-open probe is admitted
+    breaker_reset_ms: float = 1000.0
 
     def __post_init__(self) -> None:
+        from repro.serve.scheduler import resolve_priority
+
+        resolve_priority(self.default_priority)  # raises ConfigError on junk
+        if self.breaker_threshold < 1:
+            raise ConfigError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset_ms < 0:
+            raise ConfigError(
+                f"breaker_reset_ms must be >= 0, got {self.breaker_reset_ms}"
+            )
         if not (0.0 < self.adaptive_alpha <= 1.0):
             raise ConfigError(
                 f"adaptive_alpha must be in (0, 1], got {self.adaptive_alpha}"
@@ -127,6 +155,15 @@ class ServeConfig:
                 "ADAPTIVE_ALPHA", cls.adaptive_alpha, minimum=1e-6
             ),
             "tuned": _env_bool("TUNED", cls.tuned),
+            "default_priority": _env_str(
+                "DEFAULT_PRIORITY", cls.default_priority
+            ),
+            "breaker_threshold": _env_int(
+                "BREAKER_THRESHOLD", cls.breaker_threshold
+            ),
+            "breaker_reset_ms": _env_float(
+                "BREAKER_RESET_MS", cls.breaker_reset_ms
+            ),
         }
         values.update(overrides)
         return cls(**values)

@@ -3,12 +3,13 @@
 The paper's data-load argument, applied online: N concurrent requests
 against one resident topology should cost one NZE pass, not N.  The
 service keeps a :class:`~repro.nn.graph.GraphData` (and optionally a
-trained model + feature matrix) resident, admits requests onto a
-bounded queue, and a single drain task coalesces whatever is pending —
-up to ``max_batch`` requests, lingering at most ``max_delay_us`` for
-stragglers — into one fused launch through the normal kernel path, so
-the plan cache, shard fan-out and active ``REPRO_EXEC_BACKEND`` are
-amortized per *batch* instead of per request.
+trained model + feature matrix) resident, admits requests into a
+bounded :class:`~repro.serve.scheduler.DeadlineScheduler`, and a single
+drain task coalesces whatever is pending — up to ``max_batch``
+requests, lingering at most ``max_delay_us`` for stragglers — into one
+fused launch through the normal kernel path, so the plan cache, shard
+fan-out and active ``REPRO_EXEC_BACKEND`` are amortized per *batch*
+instead of per request.
 
 Two request kinds cover the serving surface:
 
@@ -25,20 +26,34 @@ Two request kinds cover the serving surface:
   resident model/features.  Model output depends only on resident
   state, so a batch runs one forward pass and scatters logit rows.
 
+Scheduling: each request carries a **priority class** (``interactive``
+> ``standard`` > ``bulk``, strict) and an optional **deadline**; the
+scheduler serves earliest-deadline-first within a class and sheds
+already-expired requests *before* launch with a typed
+:class:`~repro.errors.DeadlineExceededError` — no kernel work is spent
+computing answers nobody is waiting for.
+
 Resilience: a full queue load-sheds at admission
-(:class:`~repro.errors.ServiceOverloadedError`); per-request deadlines
-raise :class:`~repro.errors.RequestTimeoutError`; a failed fused
-launch (the ``serve.batch_fail`` chaos site) degrades the batch to
-per-request execution with a bounded retry budget — numerics are
+(:class:`~repro.errors.ServiceOverloadedError`); waiting past the
+deadline raises :class:`~repro.errors.RequestTimeoutError`; a failed
+fused launch (the ``serve.batch_fail`` chaos site) degrades the batch
+to per-request execution with a bounded retry budget — numerics are
 identical on both paths, so a chaos run can slow responses but never
-corrupt them.
+corrupt them.  A :class:`~repro.serve.breaker.CircuitBreaker` watches
+batch outcomes: consecutive total-batch failures trip it open and new
+requests fast-fail with :class:`~repro.errors.CircuitOpenError` until a
+half-open probe succeeds.  :meth:`InferenceService.close` drains
+gracefully — the in-flight batch completes, queued requests get a
+typed :class:`~repro.errors.ServiceClosedError`, nothing is lost or
+corrupted — which is also what the transport's SIGTERM handler calls.
 
 Every request/batch/shed/degrade is visible in ``repro.obs``: counters
-and latency/occupancy histograms for live SLO monitoring, plus
-``serve.request`` / ``serve.queue`` / ``serve.batch`` spans (the first
-two emitted retroactively via :func:`repro.obs.emit_span`, since a
-request's lifecycle crosses tasks) so ``python -m repro.obs summary``
-and ``timeline`` reconstruct the serving picture from a trace.
+and latency/occupancy histograms for live SLO monitoring, the
+``serve.breaker_state`` gauge, plus ``serve.request`` / ``serve.queue``
+/ ``serve.batch`` spans (the first two emitted retroactively via
+:func:`repro.obs.emit_span`, since a request's lifecycle crosses tasks)
+so ``python -m repro.obs summary`` and ``timeline`` reconstruct the
+serving picture from a trace.
 """
 
 from __future__ import annotations
@@ -55,7 +70,9 @@ import numpy as np
 from repro import core, obs
 from repro.core.plancache import plan_namespace
 from repro.errors import (
+    CircuitOpenError,
     ConfigError,
+    DeadlineExceededError,
     FaultInjectedError,
     RequestTimeoutError,
     ServiceClosedError,
@@ -64,7 +81,14 @@ from repro.errors import (
 from repro.nn.graph import GraphData
 from repro.nn.tensor import Tensor
 from repro.resilience import faults
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.config import ServeConfig
+from repro.serve.scheduler import (
+    PRIORITY_NAMES,
+    DeadlineScheduler,
+    SchedulerClosed,
+    resolve_priority,
+)
 
 #: chaos site consulted once per fused launch and once per unbatched
 #: attempt (see :mod:`repro.resilience.faults`).
@@ -128,6 +152,10 @@ class _Request:
     t_admit_s: float
     #: perf-counter seconds at admission (latency measurement)
     t_admit_p: float
+    #: strict priority rank (see :data:`~repro.serve.scheduler.PRIORITY_CLASSES`)
+    priority: int = 1
+    #: absolute perf-counter deadline; ``None`` = wait forever
+    deadline_p: float | None = None
     #: perf-counter seconds when the batcher picked the request up
     t_drain_p: float = 0.0
     #: restore 1-D output for 1-D propagate input / scalar predict input
@@ -141,10 +169,13 @@ class ServeStats:
     requests: int = 0
     shed: int = 0
     timeouts: int = 0
+    deadline_shed: int = 0
+    breaker_fastfail: int = 0
     batches: int = 0
     fused_requests: int = 0
     degraded: int = 0
     retries: int = 0
+    drained: int = 0
     latencies_ms: list[float] = field(default_factory=list)
 
     @property
@@ -161,9 +192,12 @@ class ServeStats:
             "requests": self.requests,
             "shed": self.shed,
             "timeouts": self.timeouts,
+            "deadline_shed": self.deadline_shed,
+            "breaker_fastfail": self.breaker_fastfail,
             "batches": self.batches,
             "degraded": self.degraded,
             "retries": self.retries,
+            "drained": self.drained,
             "mean_occupancy": self.mean_occupancy,
             "p50_ms": self.percentile(0.50),
             "p99_ms": self.percentile(0.99),
@@ -178,6 +212,8 @@ class InferenceService:
         service = InferenceService(graph, model=model, features=data.features)
         async with service:
             y = await service.propagate(column)          # one step of Â x
+            fast = await service.propagate(column, priority="interactive",
+                                           deadline_ms=50.0)
             logits = await service.predict([7, 9, 23])   # model rows
 
     The service installs ``REPRO_EXEC_BACKEND=auto`` when the variable
@@ -207,10 +243,15 @@ class InferenceService:
         if model is not None and hasattr(model, "eval"):
             model.eval()  # deterministic forward: dropout must be identity
         self.stats = ServeStats()
-        self._queue: asyncio.Queue[_Request] | None = None
+        self.breaker = CircuitBreaker(
+            fail_threshold=self.config.breaker_threshold,
+            reset_after_ms=self.config.breaker_reset_ms,
+        )
+        self._scheduler: DeadlineScheduler | None = None
         self._drain_task: asyncio.Task | None = None
         self._inflight: list[_Request] = []
         self._running = False
+        self._default_priority = resolve_priority(self.config.default_priority)
         # Serving default: host-shaped backend, unless the operator
         # already chose one (empty counts as unset, matching the
         # resolver).  Done before the first launch can create the
@@ -223,44 +264,72 @@ class InferenceService:
     async def start(self) -> "InferenceService":
         if self._running:
             return self
-        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._scheduler = DeadlineScheduler(self.config.queue_depth)
         self._running = True
         self._drain_task = asyncio.get_running_loop().create_task(self._drain())
         return self
 
-    async def stop(self) -> None:
-        """Stop admitting and fail everything still pending."""
+    async def close(self) -> None:
+        """Graceful drain: the in-flight batch completes, queued requests
+        get a typed :class:`~repro.errors.ServiceClosedError`, then the
+        drain task exits.  Zero responses are lost or corrupted — every
+        admitted request resolves to a real result or a typed error."""
+        await self.stop(graceful=True)
+
+    async def stop(self, *, graceful: bool = True) -> None:
+        """Stop the service.
+
+        ``graceful=True`` (the default, also :meth:`close`) lets the
+        batch currently executing finish and deliver real results;
+        ``graceful=False`` cancels the drain task mid-batch (emergency
+        abort) — in-flight requests then fail typed like queued ones.
+        """
         if not self._running:
             return
         self._running = False
-        task, self._drain_task = self._drain_task, None
+        scheduler, task = self._scheduler, self._drain_task
+        self._drain_task = None
+        if scheduler is not None:
+            scheduler.close()  # wakes a blocked get(); no new batches start
         if task is not None:
-            task.cancel()
+            if not graceful:
+                task.cancel()
             try:
                 await task
             except asyncio.CancelledError:
                 pass
-        pending = list(self._inflight)
+        pending = list(self._inflight)  # non-empty only on a hard abort
         self._inflight.clear()
-        queue, self._queue = self._queue, None
-        while queue is not None and not queue.empty():
-            pending.append(queue.get_nowait())
+        self._scheduler = None
+        rejected = 0
+        if scheduler is not None:
+            pending.extend(scheduler.drain_pending())
         for req in pending:
             if not req.future.done():
+                rejected += 1
                 req.future.set_exception(
                     ServiceClosedError("service stopped with the request pending")
                 )
+        self.stats.drained += rejected
+        if rejected:
+            obs.get_metrics().counter("serve.drain_rejected").inc(rejected)
+        obs.event("serve.drain", graceful=graceful, rejected=rejected)
 
     async def __aenter__(self) -> "InferenceService":
         return await self.start()
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
-        await self.stop()
+        await self.close()
 
     # ------------------------------------------------------------- requests
 
     async def propagate(
-        self, columns: np.ndarray, *, tenant: str = ""
+        self,
+        columns: np.ndarray,
+        *,
+        tenant: str = "",
+        priority: str | None = None,
+        deadline_ms: float | None = None,
     ) -> np.ndarray:
         """One step of normalized aggregation ``Y = Â X`` for the caller's
         feature column(s); shape ``(|V|,)`` or ``(|V|, k)``, mirrored back."""
@@ -273,10 +342,18 @@ class InferenceService:
                 f"propagate columns must be (|V|,) or (|V|, k) with "
                 f"|V|={self.graph.num_vertices}, got {np.shape(columns)}"
             )
-        return await self._submit("propagate", x, tenant, squeeze)
+        return await self._submit(
+            "propagate", x, tenant, squeeze,
+            priority=priority, deadline_ms=deadline_ms,
+        )
 
     async def predict(
-        self, node_ids: int | Sequence[int] | np.ndarray, *, tenant: str = ""
+        self,
+        node_ids: int | Sequence[int] | np.ndarray,
+        *,
+        tenant: str = "",
+        priority: str | None = None,
+        deadline_ms: float | None = None,
     ) -> np.ndarray:
         """Model logits for the queried node(s) from resident features."""
         if self.model is None or self.features is None:
@@ -290,28 +367,84 @@ class InferenceService:
                 f"node ids must be in [0, {self.graph.num_vertices}), "
                 f"got range [{ids.min()}, {ids.max()}]"
             )
-        return await self._submit("predict", ids, tenant, squeeze)
+        return await self._submit(
+            "predict", ids, tenant, squeeze,
+            priority=priority, deadline_ms=deadline_ms,
+        )
 
-    async def _submit(
-        self, kind: str, payload: np.ndarray, tenant: str, squeeze: bool
-    ) -> Any:
-        if not self._running or self._queue is None:
+    def health(self) -> dict[str, Any]:
+        """Liveness/readiness snapshot (what the transport probes serve).
+
+        ``ready`` means "a request admitted now would be scheduled":
+        running, breaker not fast-failing, queue not saturated.
+        """
+        depth = self._scheduler.qsize() if self._scheduler is not None else 0
+        full = self._scheduler.full() if self._scheduler is not None else True
+        return {
+            "running": self._running,
+            "ready": self._running and self.breaker.allow() and not full,
+            "queue_depth": depth,
+            "breaker": self.breaker.snapshot(),
+            "stats": self.stats.to_dict(),
+        }
+
+    def submit_nowait(
+        self,
+        kind: str,
+        payload: np.ndarray,
+        *,
+        tenant: str = "",
+        priority: str | None = None,
+        deadline_ms: float | None = None,
+        squeeze: bool = False,
+    ) -> "asyncio.Future[Any]":
+        """Admit one request synchronously; the future is the response.
+
+        The transport's hot path: admission (breaker, priority,
+        deadline, queue) happens inline with no per-request task or
+        ``wait_for`` wrapper — the deadline is an armed timer that
+        fails the future with :class:`~repro.errors.RequestTimeoutError`
+        if it is still unresolved when the budget runs out.  Admission
+        rejections raise synchronously, typed.
+        """
+        if not self._running or self._scheduler is None:
             raise ServiceClosedError("service is not running (use 'async with')")
+        metrics = obs.get_metrics()
+        if not self.breaker.allow():
+            retry_after = self.breaker.retry_after_ms()
+            self.stats.breaker_fastfail += 1
+            metrics.counter("serve.breaker_fastfail").inc()
+            obs.event("serve.breaker_fastfail", kind=kind,
+                      tenant=tenant or "default", retry_after_ms=retry_after)
+            raise CircuitOpenError(
+                f"circuit open: retry in {retry_after:.0f} ms",
+                retry_after_ms=retry_after,
+            )
+        rank = (
+            self._default_priority if priority is None
+            else resolve_priority(priority)
+        )
+        if deadline_ms is None:
+            deadline_ms = self.config.timeout_ms
+        if deadline_ms is not None and deadline_ms <= 0:
+            deadline_ms = None  # 0 disables, matching REPRO_SERVE_TIMEOUT_MS
         loop = asyncio.get_running_loop()
+        now_p = time.perf_counter()
         req = _Request(
             kind=kind,
             payload=payload,
             tenant=str(tenant),
             future=loop.create_future(),
             t_admit_s=time.time(),
-            t_admit_p=time.perf_counter(),
+            t_admit_p=now_p,
+            priority=rank,
+            deadline_p=None if deadline_ms is None else now_p + deadline_ms / 1e3,
             squeeze=squeeze,
         )
-        metrics = obs.get_metrics()
         try:
-            self._queue.put_nowait(req)
+            self._scheduler.put_nowait(req)
         except asyncio.QueueFull:
-            depth = self._queue.qsize()
+            depth = self._scheduler.qsize()
             self.stats.shed += 1
             metrics.counter("serve.shed").inc()
             obs.event("serve.shed", kind=kind, tenant=tenant or "default",
@@ -322,23 +455,68 @@ class InferenceService:
         self.stats.requests += 1
         metrics.counter("serve.requests").inc()
         metrics.counter(f"serve.tenant.{tenant or 'default'}.requests").inc()
-        metrics.histogram("serve.queue_depth").observe(self._queue.qsize())
-        timeout = self.config.timeout_ms / 1e3 if self.config.timeout_ms else None
-        try:
-            return await asyncio.wait_for(req.future, timeout)
-        except asyncio.TimeoutError:
-            self.stats.timeouts += 1
-            metrics.counter("serve.timeouts").inc()
-            obs.event("serve.timeout", kind=kind, tenant=tenant or "default")
-            raise RequestTimeoutError(
-                f"{kind} request missed its {self.config.timeout_ms:.0f} ms deadline"
-            ) from None
+        metrics.counter(f"serve.priority.{PRIORITY_NAMES[rank]}.requests").inc()
+        metrics.histogram("serve.queue_depth").observe(self._scheduler.qsize())
+        if deadline_ms is not None:
+            timer = loop.call_later(
+                deadline_ms / 1e3, self._expire_waiting, req, deadline_ms
+            )
+            req.future.add_done_callback(lambda _f: timer.cancel())
+        return req.future
+
+    def _expire_waiting(self, req: _Request, deadline_ms: float) -> None:
+        """Deadline timer: fail a still-unresolved request, typed."""
+        if req.future.done():
+            return
+        self.stats.timeouts += 1
+        obs.get_metrics().counter("serve.timeouts").inc()
+        obs.event("serve.timeout", kind=req.kind, tenant=req.tenant or "default")
+        req.future.set_exception(
+            RequestTimeoutError(
+                f"{req.kind} request missed its {deadline_ms:.0f} ms deadline"
+            )
+        )
+
+    async def _submit(
+        self,
+        kind: str,
+        payload: np.ndarray,
+        tenant: str,
+        squeeze: bool,
+        *,
+        priority: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> Any:
+        return await self.submit_nowait(
+            kind, payload, tenant=tenant, priority=priority,
+            deadline_ms=deadline_ms, squeeze=squeeze,
+        )
 
     # ---------------------------------------------------------- micro-batch
 
+    def _shed_expired(self, expired: list[_Request]) -> None:
+        """Fail already-expired requests pre-launch, typed and accounted."""
+        metrics = obs.get_metrics()
+        for req in expired:
+            if req.future.done():
+                continue
+            self.stats.deadline_shed += 1
+            metrics.counter("serve.deadline_shed").inc()
+            obs.event(
+                "serve.deadline_shed", kind=req.kind,
+                tenant=req.tenant or "default",
+                priority=PRIORITY_NAMES[req.priority],
+            )
+            req.future.set_exception(
+                DeadlineExceededError(
+                    f"{req.kind} deadline expired before launch; shed unexecuted"
+                )
+            )
+
     async def _drain(self) -> None:
-        """Single consumer: collect, group, fuse, scatter — forever."""
-        assert self._queue is not None
+        """Single consumer: collect, shed expired, group, fuse, scatter."""
+        scheduler = self._scheduler
+        assert scheduler is not None
         loop = asyncio.get_running_loop()
         linger = self.config.max_delay_us / 1e6
         static_limit = self.config.max_batch if self.config.batching else 1
@@ -348,11 +526,14 @@ class InferenceService:
             else None
         )
         while True:
-            batch = [await self._queue.get()]
+            try:
+                batch = [await scheduler.get()]
+            except SchedulerClosed:
+                return  # graceful drain: stop() rejects what remains
             if controller is None:
                 limit = static_limit
             else:
-                controller.observe(self._queue.qsize())
+                controller.observe(scheduler.qsize())
                 limit = controller.limit
                 obs.get_metrics().gauge("serve.adaptive_limit").set(limit)
             # Greedy collection under a (max_batch, max_delay) cap.  A
@@ -366,7 +547,7 @@ class InferenceService:
             idle_yields = 0
             while len(batch) < limit:
                 try:
-                    batch.append(self._queue.get_nowait())
+                    batch.append(scheduler.get_nowait())
                     idle_yields = 0
                     continue
                 except asyncio.QueueEmpty:
@@ -376,10 +557,18 @@ class InferenceService:
                 await asyncio.sleep(0)
                 idle_yields += 1
             t_drain = time.perf_counter()
+            # Expired-deadline requests are shed before launch: the ones
+            # collected into this batch and the ones still queued behind
+            # it (their waiters would drop the result anyway).
+            expired = [
+                r for r in batch
+                if r.deadline_p is not None and r.deadline_p < t_drain
+            ]
+            self._shed_expired(expired + scheduler.pop_expired(t_drain))
             groups: dict[tuple[str, str], list[_Request]] = {}
             for req in batch:
                 req.t_drain_p = t_drain
-                if req.future.done():  # deadline already missed in queue
+                if req.future.done():  # deadline missed / shed in queue
                     continue
                 groups.setdefault((req.kind, req.tenant), []).append(req)
             for (kind, tenant), requests in groups.items():
@@ -394,7 +583,21 @@ class InferenceService:
                     outcomes = [e] * len(requests)
                 finally:
                     self._inflight = []
+                self._report_to_breaker(outcomes)
                 self._resolve(requests, outcomes)
+
+    def _report_to_breaker(self, outcomes: list[Any]) -> None:
+        """One batch verdict for the breaker: total failure trips it.
+
+        A batch where *every* member errored is the signal the breaker
+        exists for (nothing is getting through); a batch with at least
+        one good response proves the execution path works and resets
+        the failure streak.
+        """
+        if outcomes and all(isinstance(o, BaseException) for o in outcomes):
+            self.breaker.record_failure()
+        elif outcomes:
+            self.breaker.record_success()
 
     def _resolve(self, requests: list[_Request], outcomes: list[Any]) -> None:
         """Scatter per-request outcomes and close out SLO accounting."""
@@ -415,6 +618,7 @@ class InferenceService:
             obs.emit_span(
                 "serve.request", start_s=req.t_admit_s, wall_ms=latency_ms,
                 status="error" if failed else "ok", kind=req.kind, tenant=tenant,
+                priority=PRIORITY_NAMES[req.priority],
             )
             obs.emit_span(
                 "serve.queue", start_s=req.t_admit_s, wall_ms=queued_ms,

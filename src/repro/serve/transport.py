@@ -1,0 +1,530 @@
+"""Asyncio TCP transport in front of :class:`~repro.serve.InferenceService`.
+
+The PR 8 service is in-process asyncio only; this module puts it on a
+socket without re-deciding anything the service already decided.  The
+transport's job is strictly the network edge:
+
+* **Framing + handshake** — length-prefixed JSON frames with binary
+  array attachments (:mod:`repro.serve.protocol`); every connection
+  opens with an exact-match version handshake so protocol evolution has
+  a seam.
+* **Idempotent execution** — request frames carry a client-generated
+  ``id``.  The transport keeps an in-flight table and a bounded LRU of
+  finished responses: a retried id joins the in-flight execution or
+  replays the cached response, so a client retry after a dropped
+  connection is **never double-executed**.  The response is cached the
+  moment it exists — before any write is attempted — so a connection
+  that dies mid-response still leaves the result behind for the retry
+  to collect.
+* **Deadline/priority propagation** — frames carry ``deadline_ms``
+  (remaining budget, recomputed by the client per attempt),
+  ``priority`` and ``tenant``, handed straight to the service's
+  scheduler via its :meth:`~InferenceService.submit_nowait` hot path:
+  no per-request task, and responses flow back through future
+  callbacks into a per-connection writer task that batches many frames
+  per drain.
+* **Probes** — ``health`` and ``ready`` ops answer from
+  :meth:`InferenceService.health` without touching the request queue,
+  so a load balancer can probe a saturated service.
+* **Graceful shutdown** — :meth:`ServeTransport.shutdown` (also the
+  installed SIGTERM/SIGINT handler) stops accepting, closes the service
+  (its graceful drain completes the in-flight batch and fails queued
+  requests with a typed :class:`~repro.errors.ServiceClosedError`),
+  flushes every pending response frame — real results and typed
+  rejections alike — then closes the connections.  Every admitted
+  request resolves; none are silently dropped.
+
+Chaos: the injector's network sites fire at the response edge —
+``net.conn_drop`` (connection aborted instead of the response write),
+``net.partial_write`` (half a frame, then abort: the client must treat
+a torn frame as a lost connection, never parse garbage) and
+``net.slow_peer`` (stalled write) — plus ``serve.deadline_storm``
+(the request's deadline collapses at arrival, exercising pre-launch
+shedding end to end).  Under all of them the client observes only
+typed errors or bit-identical results; ``scripts/chaos_serve.py``
+gates exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from collections import OrderedDict, deque
+from typing import Any
+
+from repro import obs
+from repro.errors import (
+    ConfigError,
+    ConnectionLostError,
+    ProtocolError,
+    ReproError,
+)
+from repro.resilience import faults
+from repro.serve import protocol
+from repro.serve.service import InferenceService
+
+#: chaos sites consulted at the response-write edge
+FAULT_CONN_DROP = "net.conn_drop"
+FAULT_PARTIAL_WRITE = "net.partial_write"
+FAULT_SLOW_PEER = "net.slow_peer"
+#: chaos site collapsing an arriving request's deadline
+FAULT_DEADLINE_STORM = "serve.deadline_storm"
+
+#: injected slow-peer stall (seconds): long enough to shuffle batch
+#: composition, short enough to keep chaos runs quick.
+SLOW_PEER_SECONDS = 0.005
+
+#: deadline a storm-hit request is collapsed to (expires pre-launch)
+STORM_DEADLINE_MS = 0.01
+
+#: ops a request frame may carry (hello is handled by the handshake)
+_REQUEST_OPS = ("propagate", "predict", "health", "ready")
+
+
+class _Connection:
+    """Per-connection state: the response outbox its writer task drains."""
+
+    __slots__ = ("reader", "writer", "outbox", "wakeup", "closing", "writer_task")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        #: queued ``(message, attachment, rpc-accounting | None)`` frames
+        self.outbox: deque = deque()
+        self.wakeup = asyncio.Event()
+        self.closing = False
+        self.writer_task: asyncio.Task | None = None
+
+    def send(
+        self,
+        message: dict[str, Any],
+        attachment: bytes | memoryview = b"",
+        rpc: tuple | None = None,
+    ) -> None:
+        self.outbox.append((message, attachment, rpc))
+        self.wakeup.set()
+
+
+class ServeTransport:
+    """TCP server exposing one :class:`InferenceService`.
+
+    Usage::
+
+        service = InferenceService(graph)
+        transport = ServeTransport(service, port=0)   # 0 = ephemeral
+        async with transport:                          # starts service too
+            ...                                        # clients connect
+    """
+
+    def __init__(
+        self,
+        service: InferenceService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        dedup_cap: int = 1024,
+    ):
+        if dedup_cap < 1:
+            raise ConfigError(f"dedup_cap must be >= 1, got {dedup_cap}")
+        self.service = service
+        self.host = host
+        self.port = int(port)
+        self.dedup_cap = int(dedup_cap)
+        self._server: asyncio.AbstractServer | None = None
+        self._conns: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._responses: OrderedDict[
+            str, tuple[dict[str, Any], bytes | memoryview]
+        ] = OrderedDict()
+        self._shutting_down = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> "ServeTransport":
+        if self._server is not None:
+            return self
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        obs.event("serve.transport_start", host=self.host, port=self.port)
+        return self
+
+    async def shutdown(self) -> None:
+        """Graceful stop: no new connections, the service drains (the
+        in-flight batch completes, queued requests fail typed), pending
+        response frames flush, then the connections close.  Zero
+        admitted requests are lost."""
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+        # Drain the service: every pending future resolves — a real
+        # result for the in-flight batch, ServiceClosedError for the
+        # still-queued rest — so every response frame enqueues now.
+        await self.service.close()
+        if self._inflight:
+            await asyncio.gather(
+                *self._inflight.values(), return_exceptions=True
+            )
+        await asyncio.sleep(0)  # let future callbacks enqueue their frames
+        # Flush each connection's outbox, then hang up; the closed
+        # sockets surface as connection-lost to the blocked read loops.
+        for conn in list(self._conns):
+            conn.closing = True
+            conn.wakeup.set()
+        for conn in list(self._conns):
+            if conn.writer_task is not None:
+                with contextlib.suppress(Exception):
+                    await conn.writer_task
+            conn.writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        obs.event("serve.transport_stop", host=self.host, port=self.port)
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into :meth:`shutdown` (graceful drain)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.shutdown())
+            )
+
+    async def __aenter__(self) -> "ServeTransport":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    # ---------------------------------------------------------- connections
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        conn = _Connection(reader, writer)
+        self._conns.add(conn)
+        writer_task = asyncio.create_task(self._write_loop(conn))
+        conn.writer_task = writer_task
+        try:
+            if await self._handshake(conn):
+                await self._read_loop(conn)
+        finally:
+            # Let queued responses (typed rejections included) flush
+            # before the socket closes; the writer task exits once the
+            # outbox is empty and ``closing`` is set.
+            conn.closing = True
+            conn.wakeup.set()
+            await writer_task
+            self._conns.discard(conn)
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _handshake(self, conn: _Connection) -> bool:
+        try:
+            hello, _ = await protocol.read_frame(conn.reader)
+        except (ConnectionLostError, ProtocolError):
+            return False
+        if hello.get("op") != "hello" or hello.get("proto") != protocol.PROTO_VERSION:
+            err = ProtocolError(
+                f"handshake refused: need op=hello proto={protocol.PROTO_VERSION}, "
+                f"got op={hello.get('op')!r} proto={hello.get('proto')!r}"
+            )
+            conn.send(protocol.error_frame(None, err))
+            return False
+        conn.send({
+            "ok": True,
+            "proto": protocol.PROTO_VERSION,
+            "server": "repro.serve",
+            "ops": list(_REQUEST_OPS),
+        })
+        return True
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        # Deliberately not gated on shutdown: during a graceful drain a
+        # straggler request still gets a typed serve.closed answer
+        # instead of silence.
+        while not conn.closing:
+            try:
+                frame, attachment = await protocol.read_frame(conn.reader)
+            except ConnectionLostError:
+                return
+            except ProtocolError as e:
+                # Unparseable input: answer typed, then hang up — the
+                # stream offset is untrustworthy from here on.
+                conn.send(protocol.error_frame(None, e))
+                return
+            self._handle_request(conn, frame, attachment)
+
+    # ------------------------------------------------------------- requests
+
+    def _handle_request(
+        self, conn: _Connection, frame: dict[str, Any], attachment: bytes
+    ) -> None:
+        """Dispatch one request frame; its response lands in the outbox."""
+        rpc = (str(frame.get("op")), time.time(), time.perf_counter())
+        obs.get_metrics().counter("serve.rpc").inc()
+        op = frame.get("op")
+        request_id = frame.get("id")
+        if op in ("health", "ready"):
+            health = self.service.health()
+            body = health if op == "health" else {"ready": health["ready"]}
+            self._send(conn, {"id": request_id, "ok": True, "health": body}, rpc=rpc)
+            return
+        if op not in _REQUEST_OPS:
+            self._send(
+                conn,
+                protocol.error_frame(request_id, ProtocolError(f"unknown op {op!r}")),
+                rpc=rpc,
+            )
+            return
+        if not isinstance(request_id, str) or not request_id:
+            self._send(
+                conn,
+                protocol.error_frame(
+                    request_id,
+                    ProtocolError(f"op {op!r} requires a non-empty string id"),
+                ),
+                rpc=rpc,
+            )
+            return
+        # Idempotency: a finished id replays its cached response; an
+        # in-flight id joins the existing execution.  Either way the
+        # request body is executed exactly once.
+        cached = self._responses.get(request_id)
+        if cached is not None:
+            obs.get_metrics().counter("serve.dedup_hit").inc()
+            obs.event("serve.dedup_hit", op=str(op), request_id=request_id)
+            self._send(conn, cached[0], cached[1], rpc)
+            return
+        inflight = self._inflight.get(request_id)
+        if inflight is not None:
+            obs.get_metrics().counter("serve.dedup_join").inc()
+            inflight.add_done_callback(
+                lambda fut, c=conn, rid=request_id, r=rpc:
+                    self._finish(c, rid, fut, r)
+            )
+            return
+        future = self._execute(conn, frame, op, request_id, attachment, rpc)
+        if future is None:
+            return  # admission failed; typed error frame already queued
+        self._inflight[request_id] = future
+        future.add_done_callback(
+            lambda fut, c=conn, rid=request_id, r=rpc: self._finish(c, rid, fut, r)
+        )
+
+    def _execute(
+        self,
+        conn: _Connection,
+        frame: dict[str, Any],
+        op: str,
+        request_id: str,
+        attachment: bytes,
+        rpc: tuple,
+    ) -> "asyncio.Future | None":
+        """Validate and admit one request; returns the service future."""
+        injector = faults.get_injector()
+        deadline_ms = frame.get("deadline_ms")
+        priority = frame.get("priority")
+        tenant = str(frame.get("tenant", ""))
+        try:
+            if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+                raise ProtocolError(f"bad deadline_ms {deadline_ms!r}")
+            if injector.fire(FAULT_DEADLINE_STORM, op=op):
+                deadline_ms = STORM_DEADLINE_MS
+            payload = protocol.decode_payload(frame.get("payload"), attachment)
+            if op == "propagate":
+                x = payload.astype(float, copy=False)
+                squeeze = x.ndim == 1
+                if squeeze:
+                    x = x[:, None]
+                if x.ndim != 2 or x.shape[0] != self.service.graph.num_vertices:
+                    raise ConfigError(
+                        f"propagate columns must be (|V|,) or (|V|, k) with "
+                        f"|V|={self.service.graph.num_vertices}, got {payload.shape}"
+                    )
+                return self.service.submit_nowait(
+                    "propagate", x, tenant=tenant, priority=priority,
+                    deadline_ms=deadline_ms, squeeze=squeeze,
+                )
+            # predict: node ids ride as an integer array
+            if self.service.model is None or self.service.features is None:
+                raise ConfigError(
+                    "predict requires a service with model= and features="
+                )
+            squeeze = payload.ndim == 0
+            ids = payload.reshape(-1).astype("int64", copy=False)
+            if ids.size == 0:
+                raise ConfigError("node_ids must be non-empty")
+            if ids.min() < 0 or ids.max() >= self.service.graph.num_vertices:
+                raise ConfigError(
+                    f"node ids must be in [0, {self.service.graph.num_vertices}), "
+                    f"got range [{ids.min()}, {ids.max()}]"
+                )
+            return self.service.submit_nowait(
+                "predict", ids, tenant=tenant, priority=priority,
+                deadline_ms=deadline_ms, squeeze=squeeze,
+            )
+        except ReproError as e:
+            self._cache_and_send(
+                conn, request_id, protocol.error_frame(request_id, e), b"", rpc
+            )
+            return None
+        except Exception as e:  # defensive: never leak an untyped crash
+            wrapped = ReproError(f"internal error: {type(e).__name__}: {e}")
+            self._cache_and_send(
+                conn, request_id, protocol.error_frame(request_id, wrapped),
+                b"", rpc,
+            )
+            return None
+
+    def _finish(
+        self,
+        conn: _Connection,
+        request_id: str,
+        future: "asyncio.Future",
+        rpc: tuple,
+    ) -> None:
+        """Future callback: turn one outcome into a cached, queued frame."""
+        self._inflight.pop(request_id, None)
+        if future.cancelled():
+            exc: BaseException | None = ReproError("request cancelled")
+        else:
+            exc = future.exception()
+        if exc is None:
+            message, attachment = protocol.result_frame(request_id, future.result())
+        else:
+            message, attachment = protocol.error_frame(request_id, exc), b""
+        self._cache_and_send(conn, request_id, message, attachment, rpc)
+
+    def _cache_and_send(
+        self,
+        conn: _Connection,
+        request_id: str,
+        message: dict[str, Any],
+        attachment: bytes | memoryview,
+        rpc: tuple,
+    ) -> None:
+        # Cache before any write is attempted: a response lost to a
+        # dropped connection replays to the retry, never re-executes.
+        self._responses[request_id] = (message, attachment)
+        while len(self._responses) > self.dedup_cap:
+            self._responses.popitem(last=False)
+        self._send(conn, message, attachment, rpc)
+
+    # -------------------------------------------------------------- writing
+
+    def _send(
+        self,
+        conn: _Connection,
+        message: dict[str, Any],
+        attachment: bytes | memoryview = b"",
+        rpc: tuple | None = None,
+    ) -> None:
+        """Queue or directly write one response frame.
+
+        Fault-free fast path: write inline right here (often a future
+        callback) — no writer-task hop, no per-frame drain; asyncio's
+        transport flushes eagerly.  The writer task takes over whenever
+        order matters (frames already queued), chaos is armed (its
+        injection points need ``await``), the peer is applying real
+        backpressure, or the connection is closing (shutdown flushes
+        through the outbox).
+        """
+        transport = conn.writer.transport
+        if (
+            not conn.outbox
+            and not conn.closing
+            and not faults.get_injector().enabled
+            and transport is not None
+            and transport.get_write_buffer_size() < (1 << 20)
+        ):
+            try:
+                protocol.write_frame_nowait(conn.writer, message, attachment)
+            except ConnectionLostError:
+                conn.closing = True
+                conn.wakeup.set()
+                return
+            if rpc is not None:
+                self._emit_rpc(message, rpc)
+            return
+        conn.send(message, attachment, rpc)
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        """The connection's single writer: many frames per drain."""
+        injector = faults.get_injector()
+        try:
+            while True:
+                if not conn.outbox:
+                    if conn.closing:
+                        return
+                    conn.wakeup.clear()
+                    if conn.closing:  # closed between check and clear
+                        return
+                    await conn.wakeup.wait()
+                    continue
+                wrote = 0
+                while conn.outbox:
+                    message, attachment, rpc = conn.outbox.popleft()
+                    # chaos fires at the response edge only — handshake
+                    # frames (rpc=None) stay clean so a connect is not a
+                    # coin flip (retry semantics live on requests).
+                    if injector.enabled and rpc is not None:
+                        await self._chaos_edge(conn, injector)
+                    protocol.write_frame_nowait(conn.writer, message, attachment)
+                    wrote += 1
+                    if rpc is not None:
+                        self._emit_rpc(message, rpc)
+                if wrote:
+                    try:
+                        await conn.writer.drain()
+                    except (ConnectionError, OSError) as e:
+                        raise ConnectionLostError(str(e)) from None
+        except ConnectionLostError:
+            conn.closing = True  # responses stay cached for retries
+
+    async def _chaos_edge(self, conn: _Connection, injector) -> None:
+        """Consult the network chaos sites before one response write."""
+        if injector.fire(FAULT_SLOW_PEER):
+            await asyncio.sleep(SLOW_PEER_SECONDS)
+        if injector.fire(FAULT_CONN_DROP):
+            self._abort(conn.writer)
+            raise ConnectionLostError("injected connection drop (net.conn_drop)")
+        if injector.fire(FAULT_PARTIAL_WRITE):
+            frame_bytes = protocol.encode_frame({"ok": True})
+            with contextlib.suppress(ConnectionError, OSError):
+                conn.writer.write(frame_bytes[: max(1, len(frame_bytes) // 2)])
+                await conn.writer.drain()
+            self._abort(conn.writer)
+            raise ConnectionLostError("injected torn response (net.partial_write)")
+
+    def _emit_rpc(self, message: dict[str, Any], rpc: tuple) -> None:
+        op, t_start_s, t_start_p = rpc
+        code = "ok" if message.get("ok") else str(
+            (message.get("error") or {}).get("code", "error")
+        )
+        obs.emit_span(
+            "serve.rpc",
+            start_s=t_start_s,
+            wall_ms=(time.perf_counter() - t_start_p) * 1e3,
+            status="ok" if code == "ok" else "error",
+            op=op,
+            code=code,
+            worker="transport",
+        )
+
+    @staticmethod
+    def _abort(writer: asyncio.StreamWriter) -> None:
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()

@@ -166,3 +166,33 @@ class TestTrajectory:
         path.write_text("{not json", encoding="utf-8")
         append_trajectory(path, {"benchmark": "serve"})
         assert len(load_trajectory(path)) == 1
+
+    def test_torn_tail_salvages_complete_entries(self, tmp_path, capsys):
+        """A write torn mid-entry keeps every complete prior entry."""
+        import json
+
+        from repro.bench.trajectory import load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        entries = [{"benchmark": f"b{i}", "speedup": float(i)} for i in range(3)]
+        text = json.dumps(entries, indent=2)
+        path.write_text(text[: text.rfind("{") + 20], encoding="utf-8")
+        salvaged = load_trajectory(path)
+        assert salvaged == entries[:2]
+        assert "salvaged 2 complete entries" in capsys.readouterr().err
+
+    def test_non_record_entries_are_quarantined_with_warning(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.bench.trajectory import load_trajectory
+
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text(
+            json.dumps([{"benchmark": "ok"}, "junk", 42, {"benchmark": "ok2"}]),
+            encoding="utf-8",
+        )
+        loaded = load_trajectory(path)
+        assert [e["benchmark"] for e in loaded] == ["ok", "ok2"]
+        assert "quarantined 2 non-record" in capsys.readouterr().err

@@ -410,6 +410,39 @@ class TestTrainerResilience:
         assert all(isinstance(p, np.ndarray) for p in snapshot.params)
         assert snapshot.rng_states  # dropout generators captured
 
+    def test_resume_after_torn_npz_falls_back_to_older_epoch(
+        self, tmp_path, capsys
+    ):
+        """Satellite: a torn ``.npz`` under an already-written meta must
+        not kill resume — ``load_latest`` warns, counts, and walks back
+        to the newest loadable epoch."""
+        with no_faults():
+            trainer = _make_trainer()
+            trainer.fit(3, checkpoint_dir=tmp_path, checkpoint_every=1)
+        manager = CheckpointManager(tmp_path)
+        npz = manager._npz_path(2)
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])  # torn
+        corrupt_before = obs.get_metrics().counter(
+            "resilience.checkpoint_corrupt"
+        ).value
+        loaded = manager.load_latest()
+        assert loaded is not None
+        snapshot, history = loaded
+        assert snapshot.epoch == 1 and len(history) == 2
+        assert (
+            obs.get_metrics().counter("resilience.checkpoint_corrupt").value
+            == corrupt_before + 1
+        )
+        assert "skipping corrupt checkpoint epoch 2" in capsys.readouterr().err
+
+    def test_resume_with_every_checkpoint_torn_returns_none(self, tmp_path):
+        with no_faults():
+            _make_trainer().fit(2, checkpoint_dir=tmp_path, checkpoint_every=1)
+        manager = CheckpointManager(tmp_path)
+        for epoch in manager.epochs():
+            manager._npz_path(epoch).write_bytes(b"\x00\x01")
+        assert manager.load_latest() is None
+
     def test_snapshot_restore_is_exact(self):
         with no_faults():
             trainer = _make_trainer()
